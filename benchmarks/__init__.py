@@ -1,0 +1,2 @@
+# benchmarks package (keeps `benchmarks.conftest` importable by the
+# individual benchmark modules)

@@ -1,0 +1,37 @@
+"""Benchmark fixtures and report helpers.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and *prints the same rows/series the paper reports* (the bench harness is
+run with ``pytest benchmarks/ --benchmark-only -s`` to see them; without
+``-s`` the series still run and the assertions still guard the shapes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import HarnessConfig
+from repro.suite import openacc10_suite
+
+
+@pytest.fixture(scope="session")
+def suite10():
+    return openacc10_suite()
+
+
+@pytest.fixture(scope="session")
+def sweep_config():
+    """Fast single-iteration functional sweep (what Fig. 8 measures)."""
+    return HarnessConfig(iterations=1, run_cross=False)
+
+
+def print_series(title: str, rows) -> None:
+    print()
+    print(title)
+    print("-" * len(title))
+    for row in rows:
+        print(row)
+
+
+def bar(value: float, scale: float = 0.5) -> str:
+    return "#" * int(value * scale)

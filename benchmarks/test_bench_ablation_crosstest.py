@@ -1,0 +1,124 @@
+"""Ablation: the value of the cross-test methodology (Section III).
+
+The paper's motivation for cross tests: "a false positive can be an output
+with the functional tests ... [the functional pass] may simply be due to
+the use of the parallel construct."  This ablation demonstrates the two
+things crosses buy:
+
+1. *Weak-test detection* — a deliberately miswritten loop test (with
+   ``num_gangs(1)`` the loop directive has no observable effect) passes its
+   functional run on every compiler; only the cross run exposes that the
+   pass is not attributable to the directive (reported as inconclusive).
+2. *Measured cost* — cross testing roughly doubles suite runtime; the
+   bench reports both configurations' wall time.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.harness import HarnessConfig, ValidationRunner
+from repro.suite.builders import check, template_text
+from repro.templates import parse_template
+
+#: the paper's Fig. 2 design, correctly parameterised (gangs > 1) ...
+STRONG = template_text(
+    name="strong_loop.c", feature="loop", language="c",
+    description="work-sharing observable: 10 gangs",
+    code="""
+int main(){
+  int i, a[40];
+  for(i=0;i<40;i++) a[i]=0;
+  #pragma acc parallel num_gangs(10) copy(a[0:40])
+  {
+    """ + check("#pragma acc loop") + """
+    for(i=0;i<40;i++) a[i]++;
+  }
+  return a[0] == 1;
+}
+""",
+)
+
+#: ... and a weak variant where the directive cannot be observed
+WEAK = template_text(
+    name="weak_loop.c", feature="loop", language="c",
+    description="miswritten: with one gang the loop directive has no effect",
+    code="""
+int main(){
+  int i, a[40];
+  for(i=0;i<40;i++) a[i]=0;
+  #pragma acc parallel num_gangs(1) copy(a[0:40])
+  {
+    """ + check("#pragma acc loop") + """
+    for(i=0;i<40;i++) a[i]++;
+  }
+  return a[0] == 1;
+}
+""",
+)
+
+
+def test_bench_crosstest_catches_weak_tests(benchmark):
+    runner = ValidationRunner(config=HarnessConfig(iterations=2))
+    strong = parse_template(STRONG)
+    weak = parse_template(WEAK)
+
+    def run():
+        return runner.run_template(strong), runner.run_template(weak)
+
+    strong_result, weak_result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_series(
+        "Cross-test ablation: weak vs strong test design",
+        [
+            f"strong: functional pass={strong_result.passed} "
+            f"certainty={strong_result.certainty:.0%} "
+            f"inconclusive={strong_result.cross_inconclusive_unexpectedly}",
+            f"weak  : functional pass={weak_result.passed} "
+            f"certainty={weak_result.certainty:.0%} "
+            f"inconclusive={weak_result.cross_inconclusive_unexpectedly}",
+        ],
+    )
+
+    # both pass functionally — indistinguishable without crosses
+    assert strong_result.passed and weak_result.passed
+    # the cross pass separates them
+    assert strong_result.certainty == 1.0
+    assert not strong_result.cross_inconclusive_unexpectedly
+    assert weak_result.certainty == 0.0
+    assert weak_result.cross_inconclusive_unexpectedly
+
+
+def test_bench_crosstest_runtime_cost(benchmark, suite10):
+    """Measured cost of enabling cross tests on a suite slice."""
+
+    def run_both():
+        times = {}
+        for label, run_cross in (("functional-only", False),
+                                 ("with-cross", True)):
+            config = HarnessConfig(iterations=1, run_cross=run_cross,
+                                   languages=("c",),
+                                   feature_prefixes=["parallel"])
+            runner = ValidationRunner(config=config)
+            start = time.perf_counter()
+            report = runner.run_suite(suite10)
+            times[label] = (time.perf_counter() - start, report)
+        return times
+
+    times = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    base, base_report = times["functional-only"]
+    crossed, cross_report = times["with-cross"]
+    print_series(
+        "Cross-test ablation: runtime cost",
+        [
+            f"functional-only: {base*1000:7.1f} ms "
+            f"({len(base_report.results)} tests)",
+            f"with-cross     : {crossed*1000:7.1f} ms "
+            f"(certainty available for "
+            f"{sum(1 for r in cross_report.results if r.cross)} tests)",
+        ],
+    )
+    assert crossed > base  # crosses cost real time...
+    assert any(r.certainty == 1.0 for r in cross_report.results)  # ...and buy confidence

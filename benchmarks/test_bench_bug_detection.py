@@ -1,0 +1,104 @@
+"""Section V-B showcase bugs: end-to-end detection through the harness.
+
+For each of the paper's three qualitative bug analyses, run the relevant
+suite slice against the buggy vendor version and against the fixed (or
+reference) one, and report which features flip from FAIL to PASS — the
+exact workflow the authors ran with the vendors ("the vendors fix them and
+inform us when a newer version of the compiler is released.  We then
+verify if the issues were resolved").
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.compiler.vendors import vendor_version
+from repro.harness import HarnessConfig, ValidationRunner
+
+
+CASES = [
+    # (vendor, buggy version, fixed version, feature slice, bug headline)
+    ("pgi", "13.2", None, ["parallel.async", "kernels.async",
+                           "runtime.acc_async_test"],
+     "async wedged by data clauses (Fig. 10) — never fixed in 13.x"),
+    ("cray", "8.1.2", None, ["parallel", "kernels"],
+     "scalar copy does not happen — constant across versions"),
+]
+
+
+@pytest.mark.parametrize(
+    "vendor,buggy,fixed,features,headline",
+    CASES,
+    ids=[c[0] for c in CASES],
+)
+def test_bench_showcase_bug_detection(
+    benchmark, suite10, vendor, buggy, fixed, features, headline
+):
+    config = HarnessConfig(iterations=1, run_cross=False, languages=("c",),
+                           features=None, feature_prefixes=features)
+
+    def detect():
+        buggy_vv = vendor_version(vendor, buggy)
+        buggy_report = ValidationRunner(buggy_vv.behavior("c"), config).run_suite(suite10)
+        fixed_report = None
+        if fixed is not None:
+            fixed_vv = vendor_version(vendor, fixed)
+            fixed_report = ValidationRunner(fixed_vv.behavior("c"), config).run_suite(suite10)
+        return buggy_report, fixed_report
+
+    buggy_report, fixed_report = benchmark.pedantic(detect, rounds=1, iterations=1)
+
+    rows = [f"{vendor} {buggy}: {headline}"]
+    for result in buggy_report.results:
+        rows.append(
+            f"  {result.feature:30s} "
+            f"{'PASS' if result.passed else 'FAIL':4s}"
+            + (f" [{result.failure_kind.value}]" if not result.passed else "")
+        )
+    print_series(f"Showcase bug — {vendor} {buggy}", rows)
+
+    assert buggy_report.failures(), f"{vendor} {buggy} bug not detected"
+    if fixed_report is not None:
+        assert not fixed_report.failures(), (
+            f"{vendor} {fixed} should have resolved the bug"
+        )
+
+
+def test_bench_caps_constant_expression_bug(benchmark):
+    """Fig. 9 directly: the suite uses constant expressions by design
+    (Section IV-A1), so the CAPS restriction is exposed by compiling the
+    paper's variable-expression variant against old and new versions."""
+    from repro.compiler import CompileError, Compiler
+
+    src = """
+int main() {
+  int gangs = 8;
+  int known_gang_num = 8;
+  int gang_num = 0;
+  #pragma acc parallel num_gangs(gangs) reduction(+:gang_num)
+  {
+    gang_num++;
+  }
+  return (gang_num == known_gang_num);
+}
+"""
+
+    def probe():
+        outcomes = {}
+        for version in ("3.0.7", "3.0.8", "3.1.0", "3.3.4"):
+            compiler = Compiler(vendor_version("caps", version).behavior("c"))
+            try:
+                result = compiler.compile(src, "c").run()
+                outcomes[version] = f"ran, returned {result.value}"
+            except CompileError as err:
+                outcomes[version] = f"compile error: {err.message[:50]}"
+        return outcomes
+
+    outcomes = benchmark.pedantic(probe, rounds=1, iterations=1)
+    print_series(
+        "Showcase bug — CAPS constant-only parallelism expressions (Fig. 9)",
+        [f"caps {v:7s}: {o}" for v, o in outcomes.items()],
+    )
+    assert outcomes["3.0.7"].startswith("compile error")
+    assert outcomes["3.0.8"].startswith("compile error")
+    assert outcomes["3.1.0"] == "ran, returned 1"
+    assert outcomes["3.3.4"] == "ran, returned 1"

@@ -1,0 +1,65 @@
+"""Ablation: the statistical certainty model of Section III.
+
+Sweeps the iteration count M and reports the mean certainty
+pc = 1 - (1 - nf/M)^M over the suite's conclusive cross tests, plus the
+closed-form table for representative (nf, M) points — the trade the paper's
+statistical methodology makes between repetition cost and confidence.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.harness import HarnessConfig, ValidationRunner, certainty
+
+
+def test_bench_certainty_closed_form(benchmark):
+    def table():
+        rows = []
+        for m in (1, 2, 3, 5, 10):
+            for nf in range(0, m + 1, max(1, m // 3)):
+                rows.append((m, nf, certainty(nf, m)))
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    print_series(
+        "Certainty pc = 1-(1-nf/M)^M (Section III)",
+        [f"M={m:2d} nf={nf:2d} -> pc={pc:6.2%}" for (m, nf, pc) in rows],
+    )
+    # deterministic cross failures give full certainty at any M
+    for m, nf, pc in rows:
+        if nf == m:
+            assert pc == 1.0
+        if nf == 0:
+            assert pc == 0.0
+
+
+@pytest.mark.parametrize("iterations", [1, 3])
+def test_bench_certainty_suite_sweep(benchmark, suite10, iterations):
+    """Mean certainty over a suite slice as M grows (cross runs enabled)."""
+    config = HarnessConfig(iterations=iterations, run_cross=True,
+                           languages=("c",),
+                           feature_prefixes=["loop", "data"])
+    runner = ValidationRunner(config=config)
+
+    def run():
+        return runner.run_suite(suite10)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    crossed = [r for r in report.results if r.cross is not None]
+    conclusive = [r for r in crossed if r.cross_conclusive]
+    mean_pc = sum(r.certainty for r in crossed) / max(1, len(crossed))
+    print_series(
+        f"Certainty sweep at M={iterations}",
+        [
+            f"tests with cross runs : {len(crossed)}",
+            f"conclusive crosses    : {len(conclusive)}",
+            f"mean certainty        : {mean_pc:6.2%}",
+        ],
+    )
+    # on a conforming implementation all functional tests pass...
+    assert report.pass_rate() == 100.0
+    # ...and the simulator's determinism makes conclusive crosses fully
+    # certain at every M
+    for r in conclusive:
+        assert r.certainty == 1.0

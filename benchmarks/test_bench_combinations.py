@@ -1,0 +1,74 @@
+"""Coverage-widening bench: the feature-combination suite (Section IX).
+
+"The coverage of tests can be widened by testing several combinations of
+the features."  Measures the combination suite against the reference (all
+pass) and against representative buggy behaviours, reporting how many
+*feature pairs* each run exercises — the coverage the base one-feature
+corpus cannot provide.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.compiler import CompilerBehavior
+from repro.harness import HarnessConfig, ValidationRunner
+from repro.suite import combination_suite
+
+
+def test_bench_combination_coverage(benchmark):
+    suite = combination_suite()
+
+    def run():
+        config = HarnessConfig(iterations=1)
+        report = ValidationRunner(config=config).run_suite(suite)
+        pairs = set()
+        for template in suite:
+            for dep in template.dependences:
+                pairs.add(tuple(sorted((template.feature, dep))))
+        return report, pairs
+
+    report, pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_series(
+        "Feature-combination suite (Section IX future work)",
+        [
+            f"templates            : {len(suite)}",
+            f"feature pairs covered: {len(pairs)}",
+            f"reference pass rate  : {report.pass_rate():.1f}%",
+        ],
+    )
+    assert report.pass_rate() == 100.0
+    assert len(pairs) >= 25
+
+
+def test_bench_combination_interaction_bugs(benchmark):
+    """Interaction bugs caught per injected behaviour class."""
+    suite = combination_suite()
+    behaviors = {
+        "async wedge": CompilerBehavior(
+            async_wedged_by_compute_data_clauses=True),
+        "update ignored": CompilerBehavior(ignore_update=True),
+        "broken + reduction": CompilerBehavior(
+            broken_reductions=frozenset({"+"})),
+        "copyin as create": CompilerBehavior(copyin_as_create=True),
+    }
+
+    def run():
+        out = {}
+        for label, behavior in behaviors.items():
+            config = HarnessConfig(iterations=1, run_cross=False)
+            report = ValidationRunner(behavior, config).run_suite(suite)
+            out[label] = sorted(set(report.failed_features()))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        f"{label:20s} -> {len(features)} combination failures: "
+        f"{', '.join(features[:4])}{'...' if len(features) > 4 else ''}"
+        for label, features in results.items()
+    ]
+    print_series("Interaction-bug detection by the combination suite", rows)
+
+    for label, features in results.items():
+        assert features, f"{label}: no combination test caught the bug"

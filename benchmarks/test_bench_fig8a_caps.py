@@ -1,0 +1,51 @@
+"""Figure 8(a): CAPS pass rates per version, C and Fortran.
+
+Regenerates the bar series of the paper's Fig. 8(a) by running the full 1.0
+suite against every simulated CAPS version.  Shape assertions encode the
+paper's findings: the 3.0.x betas are much lower than 3.2.x/3.3.x, the
+3.0.8 Fortran frontend regressed dramatically, 3.1.0 is still depressed by
+the broken ``declare``, and the final releases are clean.
+"""
+
+import pytest
+
+from benchmarks.conftest import bar, print_series
+from repro.analysis import vendor_pass_rates
+
+
+@pytest.fixture(scope="module")
+def caps_rates(suite10, sweep_config):
+    return vendor_pass_rates("caps", suite10, sweep_config)
+
+
+def test_bench_fig8a_caps(benchmark, suite10, sweep_config):
+    def sweep():
+        return vendor_pass_rates("caps", suite10, sweep_config)
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for lang in ("c", "fortran"):
+        for point in rates[lang]:
+            rows.append(
+                f"CAPS {point.version:7s} {lang:8s} "
+                f"{point.pass_rate:6.1f}%  {bar(point.pass_rate)}"
+            )
+    print_series("Fig. 8(a) — CAPS pass rates (C & Fortran test suites)", rows)
+
+    by_version = {
+        lang: {p.version: p.pass_rate for p in rates[lang]}
+        for lang in ("c", "fortran")
+    }
+    # betas much lower than 3.2.x/3.3.x (Section V-A)
+    for lang in ("c", "fortran"):
+        assert by_version[lang]["3.0.7"] < by_version[lang]["3.2.3"] - 20
+    # the 3.0.8 Fortran regression
+    assert by_version["fortran"]["3.0.8"] < by_version["fortran"]["3.0.7"] - 15
+    # 3.1.0 below the 3.2.x plateau (declare not functional)
+    assert by_version["c"]["3.1.0"] < by_version["c"]["3.2.3"]
+    # final releases clean
+    assert by_version["c"]["3.3.4"] == 100.0
+    assert by_version["fortran"]["3.3.4"] == 100.0
+    # quality improves (bugs "somewhat decreased with every newer version")
+    assert by_version["c"]["3.3.3"] >= by_version["c"]["3.2.3"]

@@ -1,0 +1,47 @@
+"""Figure 8(b): PGI pass rates per version, C and Fortran.
+
+Shape assertions encode the paper's findings: support begins at 12.6 and
+improves through 12.10 ("version 12.8 onwards shows better quality"); "the
+pass rate in 13.2 is not as good as 12.10 because 13.x releases were
+reorganized to support multiple targets"; "some improvement from version
+13.4 onwards"; the residual failures are dominated by the async family.
+"""
+
+import pytest
+
+from benchmarks.conftest import bar, print_series
+from repro.analysis import vendor_pass_rates
+
+
+def test_bench_fig8b_pgi(benchmark, suite10, sweep_config):
+    def sweep():
+        return vendor_pass_rates("pgi", suite10, sweep_config)
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for lang in ("c", "fortran"):
+        for point in rates[lang]:
+            rows.append(
+                f"PGI {point.version:6s} {lang:8s} "
+                f"{point.pass_rate:6.1f}%  {bar(point.pass_rate)}"
+            )
+    print_series("Fig. 8(b) — PGI pass rates (C & Fortran test suites)", rows)
+
+    c = {p.version: p.pass_rate for p in rates["c"]}
+    f = {p.version: p.pass_rate for p in rates["fortran"]}
+
+    # improvement 12.6 -> 12.10
+    assert c["12.10"] > c["12.6"]
+    # the 13.2 multi-target reorganisation dip
+    assert c["13.2"] < c["12.10"]
+    # recovery from 13.4 onwards
+    assert c["13.4"] > c["13.2"]
+    assert c["13.8"] >= c["13.4"]
+    # Fortran consistently below C (Table I: 13-14 F bugs vs 5-8 C bugs)
+    for version in c:
+        assert f[version] <= c[version]
+    # async-family failures persist to the last version (Section V-B)
+    last = rates["c"][-1]
+    failing = set(last.report.failed_features("c"))
+    assert {"parallel.async", "kernels.async"} <= failing

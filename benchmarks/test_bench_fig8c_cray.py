@@ -1,0 +1,44 @@
+"""Figure 8(c): Cray pass rates per version, C and Fortran.
+
+Shape assertions encode the paper's finding that "the bar plots mostly
+show no variation": the C series is exactly flat across all eight versions
+(the inventory never changed), Fortran gains only the single 8.1.7 fix,
+and Fortran sits well above C (Table I: 5-6 F bugs vs a constant 16 C
+bugs, dominated by the scalar-copy wrong-code bug of Section V-B).
+"""
+
+import pytest
+
+from benchmarks.conftest import bar, print_series
+from repro.analysis import vendor_pass_rates
+
+
+def test_bench_fig8c_cray(benchmark, suite10, sweep_config):
+    def sweep():
+        return vendor_pass_rates("cray", suite10, sweep_config)
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for lang in ("c", "fortran"):
+        for point in rates[lang]:
+            rows.append(
+                f"Cray {point.version:7s} {lang:8s} "
+                f"{point.pass_rate:6.1f}%  {bar(point.pass_rate)}"
+            )
+    print_series("Fig. 8(c) — Cray pass rates (C & Fortran test suites)", rows)
+
+    c = [p.pass_rate for p in rates["c"]]
+    f = [p.pass_rate for p in rates["fortran"]]
+
+    # C: perfectly flat (no variation)
+    assert len(set(c)) == 1
+    # Fortran: flat except the single 8.1.7 fix
+    assert len(set(f)) <= 2
+    assert f[-1] >= f[0]
+    # Fortran above C throughout
+    for c_rate, f_rate in zip(c, f):
+        assert f_rate > c_rate
+    # the scalar-copy bug manifests in the C base tests (Section V-B)
+    failing = set(rates["c"][0].report.failed_features("c"))
+    assert "parallel" in failing and "kernels" in failing

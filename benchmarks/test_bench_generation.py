@@ -1,0 +1,95 @@
+"""Infrastructure microbenchmarks: template generation and the compile +
+execute pipeline.
+
+The paper's template approach claims "it only needs minimum efforts to
+develop the completed test code" — these benches quantify the machinery:
+parsing + generating the entire 200-template corpus, compiling a
+representative generated program with each frontend, and executing a
+representative kernel on the simulator.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.compiler import Compiler
+from repro.suite import openacc10_suite
+from repro.suite.registry import _collect_10
+from repro.templates import generate_pair, parse_template
+
+
+def test_bench_corpus_generation(benchmark):
+    """Parse + generate (functional and cross) the full corpus."""
+    texts = _collect_10()
+
+    def generate_all():
+        total_lines = 0
+        for text in texts:
+            template = parse_template(text)
+            functional, crossed = generate_pair(template)
+            total_lines += functional.source.count("\n")
+            if crossed is not None:
+                total_lines += crossed.source.count("\n")
+        return total_lines
+
+    total_lines = benchmark(generate_all)
+    print_series(
+        "Template engine throughput",
+        [f"{len(texts)} templates -> {total_lines} generated source lines/pass"],
+    )
+    assert total_lines > 5000
+
+
+_C_SOURCE = """
+int main(){
+  int i, s = 0;
+  int a[200];
+  for(i=0;i<200;i++) a[i] = i;
+  #pragma acc parallel loop reduction(+:s) copyin(a[0:200])
+  for(i=0;i<200;i++) s += a[i];
+  return s == 19900;
+}
+"""
+
+_F_SOURCE = """
+program bench
+  implicit none
+  integer :: i, s
+  integer :: a(200)
+  s = 0
+  do i = 1, 200
+    a(i) = i - 1
+  end do
+  !$acc parallel loop reduction(+:s) copyin(a(1:200))
+  do i = 1, 200
+    s = s + a(i)
+  end do
+  !$acc end parallel loop
+  if (s == 19900) main = 1
+end program bench
+"""
+
+
+@pytest.mark.parametrize("language,source", [
+    ("c", _C_SOURCE), ("fortran", _F_SOURCE),
+], ids=["c", "fortran"])
+def test_bench_compile(benchmark, language, source):
+    compiler = Compiler()
+
+    def compile_once():
+        return compiler.compile(source, language)
+
+    program = benchmark(compile_once)
+    assert program.program.main is not None
+
+
+@pytest.mark.parametrize("language,source", [
+    ("c", _C_SOURCE), ("fortran", _F_SOURCE),
+], ids=["c", "fortran"])
+def test_bench_execute(benchmark, language, source):
+    program = Compiler().compile(source, language)
+
+    def run_once():
+        return program.run()
+
+    result = benchmark(run_once)
+    assert result.value == 1

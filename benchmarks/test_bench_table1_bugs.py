@@ -1,0 +1,77 @@
+"""Table I: bugs identified in different compilers (C and Fortran).
+
+Prints the same 3 x 8 x 2 table the paper tabulates and asserts the model's
+counts match the paper *exactly* for every (vendor, version, language)
+cell.  A second benchmark verifies the detection property behind the
+counts: running the suite against a version detects (attributes at least
+one failing test to) every inventoried bug with a non-empty affects list.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.analysis import detected_bug_ids, table1_counts
+from repro.compiler.vendors import vendor_version, vendor_versions
+from repro.harness import HarnessConfig, ValidationRunner
+
+
+def test_bench_table1_counts(benchmark):
+    def build():
+        return {vendor: table1_counts(vendor) for vendor in ("caps", "pgi", "cray")}
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for vendor, entries in table.items():
+        header_versions = " ".join(f"{r.version:>7s}" for r in entries)
+        c_row = " ".join(f"{r.c_bugs:7d}" for r in entries)
+        f_row = " ".join(f"{r.fortran_bugs:7d}" for r in entries)
+        rows.append(f"{vendor.upper():5s} version  {header_versions}")
+        rows.append(f"{'':5s} C bugs   {c_row}")
+        rows.append(f"{'':5s} F bugs   {f_row}")
+    print_series("Table I — bugs identified in different compilers", rows)
+
+    for entries in table.values():
+        for row in entries:
+            assert row.matches_paper, (
+                f"{row.vendor} {row.version}: {(row.c_bugs, row.fortran_bugs)}"
+                f" != paper {row.paper_counts}"
+            )
+
+
+def test_bench_table1_detection(benchmark, suite10):
+    """Every inventoried bug with an affects list is detected by the suite."""
+
+    targets = [
+        ("caps", "3.1.0"), ("pgi", "12.6"), ("pgi", "13.8"),
+        ("cray", "8.1.2"),
+    ]
+
+    def detect():
+        out = {}
+        for vendor, version in targets:
+            vv = vendor_version(vendor, version)
+            for language in ("c", "fortran"):
+                bugs = [b for b in vv.bugs(language) if b.affects]
+                if not bugs:
+                    continue
+                config = HarnessConfig(iterations=1, run_cross=False,
+                                       languages=(language,))
+                report = ValidationRunner(vv.behavior(language), config).run_suite(suite10)
+                detected = detected_bug_ids(vv, language, report)
+                out[(vendor, version, language)] = (
+                    len(detected), len(bugs),
+                    {b.bug_id for b in bugs} - detected,
+                )
+        return out
+
+    results = benchmark.pedantic(detect, rounds=1, iterations=1)
+
+    rows = [
+        f"{vendor:5s} {version:7s} {language:8s} detected {found:3d}/{total:3d}"
+        for (vendor, version, language), (found, total, _miss) in results.items()
+    ]
+    print_series("Bug detection attribution (suite run -> Table I bugs)", rows)
+
+    for key, (found, total, missing) in results.items():
+        assert not missing, f"{key}: undetected bugs {missing}"

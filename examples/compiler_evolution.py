@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Track a vendor's quality across releases (the Fig. 8 workflow).
+
+Runs the full 1.0 suite against every simulated version of one vendor and
+renders the pass-rate evolution as ASCII bars — the plots of Fig. 8(a)/(b)/
+(c) in terminal form, with the per-version deltas the paper narrates
+("the number of bugs somewhat decreased with every newer version of the
+compiler released demonstrating improved compiler quality").
+
+Run:  python examples/compiler_evolution.py [caps|pgi|cray]
+"""
+
+import sys
+
+from repro.analysis import table1_counts, vendor_pass_rates
+
+
+def main() -> None:
+    vendor = sys.argv[1] if len(sys.argv) > 1 else "caps"
+    print(f"running the full suite against every {vendor.upper()} version...\n")
+    rates = vendor_pass_rates(vendor)
+    counts = {row.version: row for row in table1_counts(vendor)}
+
+    for language in ("c", "fortran"):
+        print(f"{vendor.upper()} — {language} test suite")
+        previous = None
+        for point in rates[language]:
+            row = counts[point.version]
+            bugs = row.c_bugs if language == "c" else row.fortran_bugs
+            bar = "#" * round(point.pass_rate / 2)
+            delta = ""
+            if previous is not None:
+                change = point.pass_rate - previous
+                if change > 0:
+                    delta = f"  (+{change:.0f})"
+                elif change < 0:
+                    delta = f"  ({change:.0f})"
+            print(f"  {point.version:7s} |{bar:<50s}| "
+                  f"{point.pass_rate:5.1f}%  bugs={bugs:2d}{delta}")
+            previous = point.pass_rate
+        print()
+
+    final = rates["c"][-1]
+    if final.failures:
+        print("features still failing in the final release (C):")
+        for feature in final.report.failed_features("c"):
+            print(f"  - {feature}")
+    else:
+        print("the final release passes the complete C suite.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: validate a few OpenACC features against the reference
+implementation.
+
+Walks the core workflow in five steps:
+
+1. pick templates from the 1.0 corpus (feature selection);
+2. run them through the validation harness (functional -> cross, repeated
+   M times, with the paper's certainty statistic);
+3. print the plain-text report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.harness import HarnessConfig, ValidationRunner, render_text
+from repro.suite import openacc10_suite
+
+
+def main() -> None:
+    suite = openacc10_suite()
+    print(f"loaded the OpenACC 1.0 corpus: {len(suite)} templates "
+          f"covering {len(suite.features())} features\n")
+
+    # 1. feature selection (Section III: "User can choose to test the
+    #    directives, their clauses or any other feature")
+    templates = suite.select(
+        languages=["c"],
+        features=[
+            "loop",                 # the Fig. 2 work-sharing test
+            "parallel.num_gangs",   # the Fig. 9 gang-count reduction
+            "data.copy",            # the Fig. 6 data-movement test
+            "parallel.async",       # the Fig. 10 async test
+        ],
+    )
+    print("selected templates:")
+    for template in templates:
+        print(f"  {template.feature:22s} — {template.description[:60]}...")
+
+    # 2. run the harness: M = 3 iterations per program
+    runner = ValidationRunner(config=HarnessConfig(iterations=3))
+    report = runner.run_suite(suite, templates=templates)
+
+    # 3. report
+    print()
+    print(render_text(report))
+
+    for result in report.results:
+        status = "validated" if result.certainty == 1.0 else "functional-only"
+        print(f"{result.feature:22s} certainty {result.certainty:6.1%}  ({status})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Explore the OpenACC 1.0 specification ambiguities of the paper.
+
+Section I motivates the suite with a specification ambiguity (Fig. 1: "can
+we allow a worker loop without an outer gang loop?") and Section V-C
+catalogues more.  This example demonstrates three of them on the simulated
+stack:
+
+1. **Fig. 1** — a worker loop without a gang loop: under the
+   redundant-execution reading each gang runs the full worker loop, so the
+   result scales with num_gangs — exactly the cross-compiler inconsistency
+   the authors observed;
+2. **Fig. 12** — the concrete device type behind acc_device_not_host is
+   implementation-defined (different per vendor);
+3. **default data attributes** — parallel treats unlisted scalars as
+   firstprivate while kernels copies them, so the same region body behaves
+   differently under the two constructs.
+
+Run:  python examples/spec_ambiguities.py
+"""
+
+from repro.compiler import Compiler, CompilerBehavior
+from repro.compiler.vendors import vendor_version
+
+
+def fig1_worker_without_gang() -> None:
+    print("=== Fig. 1: worker loop without an outer gang loop ===")
+    template = """
+int main(){{
+  int i, a[8];
+  for(i=0;i<8;i++) a[i] = 0;
+  #pragma acc parallel num_gangs({gangs}) num_workers(2) copy(a[0:8])
+  {{
+    #pragma acc loop worker
+    for(i=0;i<8;i++) a[i] = a[i] + 1;
+  }}
+  return a[0];
+}}
+"""
+    cc = Compiler()
+    for gangs in (1, 2, 4):
+        value = cc.compile(template.format(gangs=gangs), "c").run().value
+        print(f"  num_gangs({gangs}): each element incremented {value} time(s)")
+    print("  -> the result depends on the gang count: with 1.0's silence on")
+    print("     this nesting, different compilers legitimately disagreed.")
+    print("     (2.0 made gang-outermost nesting explicit — Section V-C.)\n")
+
+
+def fig12_device_type() -> None:
+    print("=== Fig. 12: implementation-defined device types ===")
+    src = """
+int main(){
+  int literal;
+  acc_set_device_type(acc_device_not_host);
+  literal = (acc_get_device_type() == acc_device_not_host);
+  return literal;
+}
+"""
+    for vendor, version in (("caps", "3.3.3"), ("pgi", "13.4"),
+                            ("cray", "8.2.0")):
+        behavior = vendor_version(vendor, version).behavior("c")
+        compiler = Compiler(behavior)
+        value = compiler.compile(src, "c").run().value
+        concrete = behavior.concrete_device_type.name
+        print(f"  {vendor:5s} {version:7s}: literal comparison "
+              f"{'passes' if value else 'FAILS'} "
+              f"(concrete type: {concrete})")
+    print("  -> the 1.0 spec never named concrete types; the 2.0 appendix")
+    print("     recommends names to make this portable.\n")
+
+
+def default_attribute_divergence() -> None:
+    print("=== default data attributes: parallel vs kernels ===")
+    template = """
+int main(){{
+  int t = 1;
+  #pragma acc {construct}
+  {{
+    t = 99;
+  }}
+  return t;
+}}
+"""
+    cc = Compiler()
+    for construct in ("parallel", "kernels"):
+        value = cc.compile(template.format(construct=construct), "c").run().value
+        print(f"  {construct:9s}: host t after the region = {value}")
+    print("  -> 1.0 gives scalars firstprivate semantics under parallel but")
+    print("     copy semantics under kernels; 2.0's default(none) lets the")
+    print("     programmer forbid all implicit attributes (Section V-C).")
+
+
+def main() -> None:
+    fig1_worker_without_gang()
+    fig12_device_type()
+    default_attribute_divergence()
+
+
+if __name__ == "__main__":
+    main()

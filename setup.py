@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no `wheel` package and no network, so the
+PEP 517 editable path (which needs bdist_wheel) is unavailable; this shim
+lets `pip install -e . --no-use-pep517 --no-build-isolation` (legacy
+`setup.py develop`) work offline.
+"""
+
+from setuptools import setup
+
+setup()

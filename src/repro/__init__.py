@@ -1,0 +1,65 @@
+"""repro — reproduction of "A Validation Testsuite for OpenACC 1.0"
+(Wang, Xu, Chandrasekaran, Chapman, Hernandez — IEEE IPDPSW 2014).
+
+Public API map
+--------------
+
+Compile & run OpenACC programs on the simulated machine:
+
+    >>> from repro import Compiler
+    >>> Compiler().compile(source, "c").run().value
+
+Validate an implementation against the paper's 1.0 corpus:
+
+    >>> from repro import ValidationRunner, HarnessConfig, openacc10_suite
+    >>> report = ValidationRunner(config=HarnessConfig(iterations=3)
+    ...                           ).run_suite(openacc10_suite())
+
+Simulated vendor compilers (Table I / Fig. 8):
+
+    >>> from repro import vendor_version
+    >>> behavior = vendor_version("pgi", "13.2").behavior("c")
+
+Subpackages: :mod:`repro.spec` (feature tree), :mod:`repro.minic` /
+:mod:`repro.minifort` (frontends), :mod:`repro.accsim` (device simulator),
+:mod:`repro.compiler` (pipeline + execution model + vendors),
+:mod:`repro.templates` (test generation), :mod:`repro.suite` (corpus),
+:mod:`repro.harness` (runner/stats/reports/Titan), :mod:`repro.analysis`
+(evaluation assembly).
+"""
+
+__version__ = "1.0.0"
+
+from repro.compiler import (
+    CompileError,
+    CompiledProgram,
+    Compiler,
+    CompilerBehavior,
+    ExecutionLimits,
+    ExecutionResult,
+    UnsupportedFeatureError,
+)
+from repro.compiler.vendors import vendor_version, vendor_versions
+from repro.harness import (
+    HarnessConfig,
+    SuiteRunReport,
+    TestResult,
+    ValidationRunner,
+    render_bug_report,
+    render_csv,
+    render_html,
+    render_text,
+)
+from repro.suite import openacc10_suite, openacc20_suite
+from repro.templates import generate_pair, parse_template
+
+__all__ = [
+    "__version__",
+    "CompileError", "CompiledProgram", "Compiler", "CompilerBehavior",
+    "ExecutionLimits", "ExecutionResult", "UnsupportedFeatureError",
+    "vendor_version", "vendor_versions",
+    "HarnessConfig", "SuiteRunReport", "TestResult", "ValidationRunner",
+    "render_bug_report", "render_csv", "render_html", "render_text",
+    "openacc10_suite", "openacc20_suite",
+    "generate_pair", "parse_template",
+]

@@ -1,0 +1,30 @@
+"""Runtime error types raised during simulated execution.
+
+These correspond to the paper's *runtime* error class (Section V: "the
+generation of an incorrect result; a code crash or if the code executes
+forever") — a crash maps to an exception from this module, "executes
+forever" to :class:`ExecutionTimeout` raised by the interpreter's step
+limiter.
+"""
+
+from __future__ import annotations
+
+
+class AccRuntimeError(Exception):
+    """Base class for simulated runtime failures (a "code crash")."""
+
+
+class PresentError(AccRuntimeError):
+    """A `present` clause named data that is not on the device."""
+
+
+class DeviceAllocationError(AccRuntimeError):
+    """Invalid device allocation or a bad device pointer."""
+
+
+class ExecutionTimeout(AccRuntimeError):
+    """The interpreter exceeded its step budget ("executes forever")."""
+
+
+class InvalidDeviceError(AccRuntimeError):
+    """Runtime routine addressed a device type/number that does not exist."""

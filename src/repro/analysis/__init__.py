@@ -1,0 +1,20 @@
+"""Evaluation analysis: assembling Table I and Fig. 8 from suite runs."""
+
+from repro.analysis.passrates import (
+    PassRatePoint,
+    vendor_pass_rates,
+    run_vendor_version,
+)
+from repro.analysis.bugs import (
+    BugCountRow,
+    table1_counts,
+    PAPER_TABLE1,
+    detected_bug_ids,
+)
+from repro.analysis.diffs import VersionDiff, compare_versions
+
+__all__ = [
+    "PassRatePoint", "vendor_pass_rates", "run_vendor_version",
+    "BugCountRow", "table1_counts", "PAPER_TABLE1", "detected_bug_ids",
+    "VersionDiff", "compare_versions",
+]

@@ -1,0 +1,80 @@
+"""Bug counting (Table I) and bug-detection attribution.
+
+``table1_counts`` reads the calibrated vendor inventories (what Table I
+tabulates: "bugs identified in different compilers").
+``detected_bug_ids`` cross-checks the inventory against an actual suite
+run: a bug is *detected* when at least one test of a feature it affects
+fails (directly, or collaterally via a failing dependence) — the property
+the whole testsuite exists to provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.compiler.vendors import VendorVersion, vendor_versions
+from repro.harness.runner import SuiteRunReport
+
+#: Table I of the paper, transcribed: {vendor: {version: (C, Fortran)}}
+PAPER_TABLE1: Dict[str, Dict[str, Tuple[int, int]]] = {
+    "caps": {
+        "3.0.7": (36, 32), "3.0.8": (24, 70), "3.1.0": (20, 15),
+        "3.2.3": (1, 1), "3.2.4": (1, 1), "3.3.0": (1, 0),
+        "3.3.3": (0, 0), "3.3.4": (0, 0),
+    },
+    "pgi": {
+        "12.6": (8, 14), "12.8": (8, 14), "12.9": (7, 14),
+        "12.10": (6, 14), "13.2": (6, 14), "13.4": (5, 13),
+        "13.6": (5, 13), "13.8": (5, 13),
+    },
+    "cray": {
+        "8.1.2": (16, 6), "8.1.3": (16, 6), "8.1.4": (16, 6),
+        "8.1.5": (16, 6), "8.1.6": (16, 6), "8.1.7": (16, 5),
+        "8.1.8": (16, 5), "8.2.0": (16, 5),
+    },
+}
+
+
+@dataclass
+class BugCountRow:
+    vendor: str
+    version: str
+    c_bugs: int
+    fortran_bugs: int
+
+    @property
+    def paper_counts(self) -> Tuple[int, int]:
+        return PAPER_TABLE1[self.vendor][self.version]
+
+    @property
+    def matches_paper(self) -> bool:
+        return (self.c_bugs, self.fortran_bugs) == self.paper_counts
+
+
+def table1_counts(vendor: str) -> List[BugCountRow]:
+    return [
+        BugCountRow(
+            vendor=vv.vendor,
+            version=vv.version,
+            c_bugs=vv.bug_count("c"),
+            fortran_bugs=vv.bug_count("fortran"),
+        )
+        for vv in vendor_versions(vendor)
+    ]
+
+
+def detected_bug_ids(
+    vv: VendorVersion, language: str, report: SuiteRunReport
+) -> Set[str]:
+    """Bug ids whose affected features include a failing test's feature or
+    one of its declared dependences."""
+    failing: Set[str] = set()
+    for result in report.failures(language):
+        failing.add(result.feature)
+        failing.update(result.template.dependences)
+    detected: Set[str] = set()
+    for bug in vv.bugs(language):
+        if any(feature in failing for feature in bug.affects):
+            detected.add(bug.bug_id)
+    return detected

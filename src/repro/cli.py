@@ -1,0 +1,265 @@
+"""Command-line interface.
+
+The user-facing face of the harness, covering the feature bullets of
+Section III (compiler configuration, feature selection, result formats):
+
+* ``repro list-features`` — the OpenACC 1.0 feature tree with coverage;
+* ``repro list-vendors`` — simulated vendor versions and bug counts;
+* ``repro generate`` — emit the generated functional/cross programs of a
+  template;
+* ``repro validate`` — run the suite against the reference or a vendor
+  version, in any output format (text/html/csv/bugs);
+* ``repro sweep`` — a Fig. 8-style pass-rate sweep over a vendor;
+* ``repro table1`` — the Table I bug-count table;
+* ``repro titan`` — a Section VII production sweep on the simulated
+  cluster.
+
+Invoke as ``python -m repro <command> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import table1_counts, vendor_pass_rates
+from repro.compiler import Compiler, CompilerBehavior
+from repro.compiler.vendors import VENDORS, vendor_version
+from repro.harness import (
+    HarnessConfig,
+    ValidationRunner,
+    render_bug_report,
+    render_csv,
+    render_html,
+    render_text,
+)
+from repro.spec.features import OPENACC_10
+from repro.suite import openacc10_suite
+from repro.templates import generate_cross, generate_functional
+
+
+def _behavior(args) -> CompilerBehavior:
+    if args.vendor:
+        return vendor_version(args.vendor, args.version).behavior(args.language)
+    return CompilerBehavior()
+
+
+def _config(args) -> HarnessConfig:
+    return HarnessConfig(
+        iterations=args.iterations,
+        run_cross=not args.no_cross,
+        languages=(args.language,) if args.language else ("c", "fortran"),
+        feature_prefixes=args.features or None,
+    )
+
+
+def cmd_list_features(args) -> int:
+    suite = openacc10_suite()
+    covered = set(suite.features())
+    for feature in OPENACC_10:
+        marker = "x" if feature.fid in covered else " "
+        print(f"[{marker}] {feature.fid:40s} {feature.kind.value}")
+    print(f"\n{len(covered)} of {len(OPENACC_10)} 1.0 features have "
+          "dedicated tests (uncovered features are exercised jointly).")
+    return 0
+
+
+def cmd_list_vendors(args) -> int:
+    for vendor, versions in VENDORS.items():
+        print(vendor)
+        for vv in versions:
+            print(f"  {vv.version:8s} C bugs: {vv.bug_count('c'):3d}   "
+                  f"Fortran bugs: {vv.bug_count('fortran'):3d}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    suite = openacc10_suite()
+    template = suite.get(args.feature, args.language)
+    if template is None:
+        print(f"no template for feature {args.feature!r} ({args.language})",
+              file=sys.stderr)
+        return 1
+    if args.mode in ("functional", "both"):
+        print(f"// --- functional test: {template.name} ---")
+        print(generate_functional(template).source)
+    if args.mode in ("cross", "both") and template.has_cross:
+        print(f"// --- cross test: {template.name} ---")
+        print(generate_cross(template).source)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    if args.suite == "combinations":
+        from repro.suite import combination_suite
+
+        suite = combination_suite()
+    else:
+        suite = openacc10_suite()
+    runner = ValidationRunner(_behavior(args), _config(args))
+    report = runner.run_suite(suite)
+    renderer = {
+        "text": render_text,
+        "html": render_html,
+        "csv": render_csv,
+        "bugs": render_bug_report,
+    }[args.format]
+    output = renderer(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+        print(f"wrote {args.output}")
+    else:
+        print(output)
+    return 0 if not report.failures() else 2
+
+
+def cmd_sweep(args) -> int:
+    config = HarnessConfig(iterations=1, run_cross=False)
+    rates = vendor_pass_rates(args.vendor, openacc10_suite(), config)
+    for language in ("c", "fortran"):
+        print(f"{args.vendor.upper()} — {language}")
+        for point in rates[language]:
+            bar = "#" * round(point.pass_rate / 2)
+            print(f"  {point.version:8s} |{bar:<50s}| {point.pass_rate:5.1f}%")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    for vendor in ("caps", "pgi", "cray"):
+        rows = table1_counts(vendor)
+        versions = " ".join(f"{r.version:>7s}" for r in rows)
+        c_row = " ".join(f"{r.c_bugs:7d}" for r in rows)
+        f_row = " ".join(f"{r.fortran_bugs:7d}" for r in rows)
+        match = all(r.matches_paper for r in rows)
+        print(f"{vendor.upper():5s} {versions}")
+        print(f"  C   {c_row}")
+        print(f"  F   {f_row}   (matches paper: {match})")
+    return 0
+
+
+def cmd_titan(args) -> int:
+    from repro.harness.titan import TitanCluster, TitanHarness
+
+    cluster = TitanCluster(num_nodes=args.nodes,
+                           degraded_fraction=args.degraded, seed=args.seed)
+    harness = TitanHarness(
+        cluster, openacc10_suite(),
+        config=HarnessConfig(iterations=1, run_cross=False, languages=("c",)),
+        feature_prefixes=["parallel", "update"],
+    )
+    checks = harness.sweep(sample_size=args.sample, seed=args.seed)
+    for check in checks:
+        status = "FLAGGED" if check.flagged else "ok"
+        print(f"node {check.node_id:3d} {check.stack:15s} "
+              f"{check.pass_rate:6.1f}%  {status}")
+    flagged = sum(1 for c in checks if c.flagged)
+    print(f"\n{flagged} of {len(checks)} node/stack checks flagged")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OpenACC 1.0 validation testsuite (IPDPSW 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-features", help="feature tree with suite coverage")
+    sub.add_parser("list-vendors", help="simulated vendor versions")
+    sub.add_parser("table1", help="Table I bug counts")
+
+    p = sub.add_parser("generate", help="emit generated test programs")
+    p.add_argument("feature")
+    p.add_argument("--language", default="c", choices=["c", "fortran"])
+    p.add_argument("--mode", default="both",
+                   choices=["functional", "cross", "both"])
+
+    p = sub.add_parser("validate", help="run the suite against an implementation")
+    p.add_argument("--suite", default="1.0", choices=["1.0", "combinations"],
+                   help="base 1.0 corpus or the feature-combination suite")
+    p.add_argument("--vendor", choices=list(VENDORS))
+    p.add_argument("--version", help="vendor version (with --vendor)")
+    p.add_argument("--language", choices=["c", "fortran"])
+    p.add_argument("--iterations", type=int, default=3, metavar="M")
+    p.add_argument("--no-cross", action="store_true")
+    p.add_argument("--features", nargs="*", metavar="PREFIX",
+                   help="feature prefixes to select, e.g. parallel loop.reduction")
+    p.add_argument("--format", default="text",
+                   choices=["text", "html", "csv", "bugs"])
+    p.add_argument("--output", help="write the report to a file")
+
+    p = sub.add_parser("sweep", help="Fig. 8-style pass-rate sweep")
+    p.add_argument("vendor", choices=list(VENDORS))
+
+    p = sub.add_parser("compare",
+                       help="diff two versions: fixed / regressed features")
+    p.add_argument("vendor", choices=list(VENDORS))
+    p.add_argument("old_version")
+    p.add_argument("new_version")
+    p.add_argument("--language", default="c", choices=["c", "fortran"])
+
+    p = sub.add_parser("titan", help="production sweep on the simulated cluster")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--degraded", type=float, default=0.25)
+    p.add_argument("--sample", type=int, default=6)
+    p.add_argument("--seed", type=int, default=2012)
+
+    return parser
+
+
+def cmd_compare(args) -> int:
+    from repro.analysis import compare_versions
+
+    diff = compare_versions(args.vendor, args.old_version, args.new_version,
+                            args.language)
+    print(diff.summary())
+    if diff.fixed:
+        print("fixed:")
+        for feature in diff.fixed:
+            print(f"  + {feature}")
+    if diff.regressed:
+        print("regressed:")
+        for feature in diff.regressed:
+            print(f"  - {feature}")
+    if diff.still_failing:
+        print("still failing:")
+        for feature in diff.still_failing:
+            print(f"  ! {feature}")
+    return 0 if not diff.regressed else 2
+
+
+_COMMANDS = {
+    "list-features": cmd_list_features,
+    "list-vendors": cmd_list_vendors,
+    "generate": cmd_generate,
+    "validate": cmd_validate,
+    "sweep": cmd_sweep,
+    "compare": cmd_compare,
+    "table1": cmd_table1,
+    "titan": cmd_titan,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "validate" and args.vendor and not args.version:
+        parser.error("--vendor requires --version")
+    if args.command == "validate" and args.vendor and not args.language:
+        parser.error("--vendor requires --language (vendor bugs are "
+                     "language-specific)")
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # output piped into e.g. `head`; exit quietly like a good CLI citizen
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Compiler behaviour model — the bug-injection surface.
+
+A :class:`CompilerBehavior` instance describes everything about a compiler
+implementation that the validation suite can observe.  The conforming
+reference compiler uses the defaults; simulated vendor versions
+(:mod:`repro.compiler.vendors`) patch fields to reproduce the paper's
+documented bug classes, e.g.:
+
+* ``require_constant_parallelism_exprs`` — CAPS < 3.1.0 only accepted
+  constant expressions in ``num_gangs``/``num_workers``/``vector_length``
+  (Section V-B, Fig. 9) and raised a compile error otherwise;
+* ``async_wedged_by_compute_data_clauses`` — PGI 13.x async family: an
+  ``async`` on a compute construct carrying data clauses blocked the
+  asynchronous activity and made ``acc_async_test`` misbehave (Fig. 10);
+* ``skip_scalar_data_transfers`` — Cray did not copy scalars in ``copy``
+  (Section V-B "Data copy for scalar variables");
+* ``eliminate_copy_only_regions`` — Cray deleted compute regions it proved
+  free of computation, breaking the copyout test design (Fig. 11);
+* ``unsupported_directives`` / ``unsupported_clauses`` — features rejected
+  at compile time (e.g. CAPS 3.1.x ``declare``);
+* wrong-code toggles (``broken_reductions``, ``firstprivate_uninitialized``,
+  ``ignore_private_clause``, ``ignore_loop_directive``, ...) — silent
+  wrong-result bugs, the class the paper says dominates.
+
+Everything downstream (lowering, runtime) consults only this object, never
+vendor identity, so new vendor models are pure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Tuple
+
+from repro.spec.devices import ACC_DEVICE_NVIDIA, DeviceType
+from repro.spec.versions import ACC_10, SpecVersion
+
+
+@dataclass(frozen=True)
+class CompilerBehavior:
+    """Observable behaviour of a (possibly buggy) OpenACC implementation."""
+
+    # ---- identification ----------------------------------------------------
+    name: str = "reference"
+    version: str = "1.0"
+    spec_version: SpecVersion = ACC_10
+    languages: Tuple[str, ...] = ("c", "fortran")
+
+    # ---- execution model (Section II: implementation-defined mapping) ------
+    default_num_gangs: int = 16
+    default_num_workers: int = 4
+    default_vector_length: int = 8
+    worker_ignored: bool = False
+    mapping_description: str = "gang->block, worker->warp, vector->threads"
+    concrete_device_type: DeviceType = ACC_DEVICE_NVIDIA
+
+    # ---- compile-time restrictions -----------------------------------------
+    #: directives rejected with a compile error, e.g. frozenset({"declare"})
+    unsupported_directives: FrozenSet[str] = frozenset()
+    #: (directive, clause) pairs rejected, e.g. {("parallel", "firstprivate")}
+    unsupported_clauses: FrozenSet[Tuple[str, str]] = frozenset()
+    #: runtime routines missing from the implementation
+    unsupported_routines: FrozenSet[str] = frozenset()
+    #: CAPS<3.1.0: num_gangs/num_workers/vector_length must be literals
+    require_constant_parallelism_exprs: bool = False
+
+    # ---- silent wrong-code toggles -----------------------------------------
+    #: loop directives in this set are accepted but have no scheduling effect
+    ignored_loop_levels: FrozenSet[str] = frozenset()  # subset of {gang,worker,vector}
+    #: `#pragma acc loop` entirely ignored (body runs redundantly per gang)
+    ignore_loop_directive: bool = False
+    #: reduction clauses compute garbage (treated as shared, no combine)
+    broken_reductions: FrozenSet[str] = frozenset()  # operator symbols, or {"*"} etc.
+    #: firstprivate behaves like private (no host-value initialisation)
+    firstprivate_uninitialized: bool = False
+    #: private clauses ignored (variable stays shared)
+    ignore_private_clause: bool = False
+    #: collapse clause ignored (only outer loop associated)
+    ignore_collapse: bool = False
+    #: copyin behaves like create (no host->device transfer)
+    copyin_as_create: bool = False
+    #: copyout behaves like create (no device->host transfer)
+    copyout_not_copied: bool = False
+    #: update directives are no-ops
+    ignore_update: bool = False
+    #: scalars in copy/copyin/copyout clauses are not transferred (Cray)
+    skip_scalar_data_transfers: bool = False
+    #: compute regions containing only array-copy statements are deleted (Cray)
+    eliminate_copy_only_regions: bool = False
+    #: `if` clauses on compute/data constructs are ignored (always offload)
+    ignore_if_clause: bool = False
+
+    # ---- async behaviour -----------------------------------------------------
+    #: PGI 13.x: async on a compute construct that itself carries data
+    #: clauses executes synchronously AND wedges acc_async_test (returns -1)
+    async_wedged_by_compute_data_clauses: bool = False
+    #: async clauses entirely ignored (synchronous execution)
+    ignore_async: bool = False
+
+    # ---- runtime-library behaviour ------------------------------------------
+    #: value acc_async_test returns when wedged
+    wedged_async_test_value: int = -1
+
+    # -------------------------------------------------------------- helpers
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} {self.version}"
+
+    def supports_language(self, language: str) -> bool:
+        return language in self.languages
+
+    def with_(self, **changes) -> "CompilerBehavior":
+        """Functional update (bug patches compose through this)."""
+        return replace(self, **changes)
+
+
+#: The conforming implementation every vendor is validated against.
+REFERENCE_BEHAVIOR = CompilerBehavior()

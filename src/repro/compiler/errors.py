@@ -1,0 +1,27 @@
+"""Compiler diagnostics.
+
+The harness distinguishes the paper's two error classes (Section V):
+compile-time errors terminate compilation and produce no executable
+(:class:`CompileError`), while runtime errors surface during execution
+(exceptions from :mod:`repro.accsim.errors`) — or, worst, don't surface at
+all ("wrong code bugs ... generate wrong results in silence").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.astnodes import SourceLocation
+
+
+class CompileError(Exception):
+    """Compilation failed (unsupported feature, bad clause expression, ...)."""
+
+    def __init__(self, message: str, loc: Optional[SourceLocation] = None):
+        self.loc = loc or SourceLocation()
+        self.message = message
+        super().__init__(f"{self.loc}: {message}")
+
+
+class UnsupportedFeatureError(CompileError):
+    """The (possibly simulated vendor) compiler does not implement a feature."""

@@ -1,0 +1,289 @@
+"""Compilation pipeline: frontend -> validation -> executable.
+
+``Compiler.compile`` parses the source with the language's frontend and runs
+a semantic validation pass that produces the paper's *compile-time* error
+class: unknown or version-gated directives/clauses, features the simulated
+vendor does not support, the CAPS constant-expression restriction (Fig. 9),
+missing runtime routines, user procedure calls inside compute regions (1.0
+has no ``routine`` directive — Section V-C "Procedure calls"), and
+``default(none)`` violations (2.0).
+
+A successful compile yields a :class:`CompiledProgram` that can be run many
+times — each run gets a fresh simulated machine, matching the harness's
+repeat-M-iterations methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.compiler.behavior import CompilerBehavior, REFERENCE_BEHAVIOR
+from repro.compiler.errors import CompileError, UnsupportedFeatureError
+from repro.compiler.interp import ExecutionLimits, ExecutionResult, Interpreter, builtin_names
+from repro.frontend.errors import FrontendError
+from repro.ir.acc import Clause, Directive
+from repro.ir.astnodes import (
+    AccConstruct,
+    AccLoop,
+    AccStandalone,
+    Call,
+    Function,
+    IntLit,
+    Program,
+    walk,
+)
+from repro.spec.versions import ACC_10, ACC_20
+
+# ---------------------------------------------------------------------------
+# clause allowance table (OpenACC 1.0 sections 2.x; 2.0 additions marked)
+# ---------------------------------------------------------------------------
+
+_DATA = {
+    "copy", "copyin", "copyout", "create", "present",
+    "present_or_copy", "present_or_copyin", "present_or_copyout",
+    "present_or_create", "deviceptr",
+}
+_LOOP = {"collapse", "gang", "worker", "vector", "seq", "independent",
+         "private", "reduction"}
+
+ALLOWED_CLAUSES: Dict[str, Set[str]] = {
+    "parallel": _DATA | {"if", "async", "num_gangs", "num_workers",
+                         "vector_length", "reduction", "private",
+                         "firstprivate"},
+    "kernels": _DATA | {"if", "async"},
+    "data": _DATA | {"if"},
+    "host_data": {"use_device"},
+    "loop": set(_LOOP),
+    "parallel loop": set(),  # filled below
+    "kernels loop": set(),
+    "cache": {"cache"},
+    "declare": _DATA | {"device_resident"},
+    "update": {"host", "device", "if", "async"},
+    "wait": {"wait"},
+    "enter data": {"if", "async", "wait", "copyin", "create",
+                   "present_or_copyin", "present_or_create"},
+    "exit data": {"if", "async", "wait", "copyout", "delete"},
+    "routine": {"gang", "worker", "vector", "seq"},
+}
+ALLOWED_CLAUSES["parallel loop"] = ALLOWED_CLAUSES["parallel"] | _LOOP
+ALLOWED_CLAUSES["kernels loop"] = ALLOWED_CLAUSES["kernels"] | _LOOP
+
+#: directives / clauses introduced by OpenACC 2.0 (Section V-C)
+_V20_DIRECTIVES = {"enter data", "exit data", "routine"}
+_V20_CLAUSES = {"default", "auto", "delete"}
+
+_PARALLELISM_SIZE_CLAUSES = ("num_gangs", "num_workers", "vector_length")
+
+#: runtime routines known to the 1.0 runtime library
+_KNOWN_ROUTINES = {
+    "acc_get_num_devices", "acc_set_device_type", "acc_get_device_type",
+    "acc_set_device_num", "acc_get_device_num", "acc_async_test",
+    "acc_async_test_all", "acc_async_wait", "acc_async_wait_all",
+    "acc_init", "acc_shutdown", "acc_on_device", "acc_malloc", "acc_free",
+}
+
+
+@dataclass
+class CompiledProgram:
+    """The output of a successful compile: runnable any number of times."""
+
+    program: Program
+    behavior: CompilerBehavior
+    source: str = ""
+    warnings: List[str] = field(default_factory=list)
+
+    def run(
+        self,
+        env_vars: Optional[Dict[str, str]] = None,
+        limits: Optional[ExecutionLimits] = None,
+        rng_seed: int = 12345,
+    ) -> ExecutionResult:
+        """Execute on a fresh simulated machine (one harness iteration)."""
+        interp = Interpreter(
+            self.program,
+            behavior=self.behavior,
+            env_vars=env_vars,
+            rng_seed=rng_seed,
+        )
+        return interp.run(limits=limits)
+
+
+class Compiler:
+    """An OpenACC implementation: frontends + validation + simulator."""
+
+    def __init__(self, behavior: CompilerBehavior = REFERENCE_BEHAVIOR):
+        self.behavior = behavior
+
+    # ------------------------------------------------------------- compile
+
+    def compile(self, source: str, language: str = "c", name: str = "<test>") -> CompiledProgram:
+        if not self.behavior.supports_language(language):
+            raise UnsupportedFeatureError(
+                f"{self.behavior.label} has no {language} frontend"
+            )
+        try:
+            if language == "c":
+                from repro.minic import parse_program
+
+                program = parse_program(source, filename=name, name=name)
+            elif language == "fortran":
+                from repro.minifort import parse_program
+
+                program = parse_program(source, filename=name, name=name)
+            else:
+                raise UnsupportedFeatureError(f"unknown language {language!r}")
+        except FrontendError as err:
+            raise CompileError(str(err)) from err
+        warnings = self.validate(program)
+        return CompiledProgram(
+            program=program, behavior=self.behavior, source=source,
+            warnings=warnings,
+        )
+
+    # ------------------------------------------------------------ validation
+
+    def validate(self, program: Program) -> List[str]:
+        warnings: List[str] = []
+        behavior = self.behavior
+        user_functions = {fn.name for fn in program.functions}
+        routine_functions = self._routine_functions(program)
+
+        for fn in program.functions:
+            for directive in fn.declares:
+                self._check_directive(directive)
+            for node in walk(fn.body):
+                if isinstance(node, (AccConstruct, AccLoop, AccStandalone)):
+                    self._check_directive(node.directive)
+                if isinstance(node, (AccConstruct, AccLoop)) and node.directive.kind in (
+                    "parallel", "kernels", "parallel loop", "kernels loop",
+                ):
+                    body = node.body if isinstance(node, AccConstruct) else node.loop
+                    self._check_region_calls(body, user_functions, routine_functions)
+                    self._check_default_none(node.directive, body, program)
+        # link check: runtime routines must exist in this implementation
+        for fn in program.functions:
+            for node in walk(fn.body):
+                if isinstance(node, Call) and node.name.startswith("acc_"):
+                    if node.name not in _KNOWN_ROUTINES:
+                        raise CompileError(
+                            f"unknown runtime routine {node.name}", node.loc
+                        )
+                    if node.name in behavior.unsupported_routines:
+                        raise UnsupportedFeatureError(
+                            f"{behavior.label} does not provide {node.name}",
+                            node.loc,
+                        )
+        return warnings
+
+    def _routine_functions(self, program: Program) -> Set[str]:
+        """Functions compiled for the device via 2.0 `routine` directives."""
+        out: Set[str] = set()
+        if self.behavior.spec_version >= ACC_20:
+            for fn in program.functions:
+                for d in fn.declares:
+                    if d.kind == "routine":
+                        out.add(fn.name)
+        return out
+
+    def _check_directive(self, d: Directive) -> None:
+        behavior = self.behavior
+        if d.kind in _V20_DIRECTIVES and behavior.spec_version < ACC_20:
+            raise UnsupportedFeatureError(
+                f"`{d.kind}` requires OpenACC 2.0 "
+                f"({behavior.label} implements {behavior.spec_version})",
+                d.loc,
+            )
+        if d.kind in behavior.unsupported_directives:
+            raise UnsupportedFeatureError(
+                f"{behavior.label} does not support the `{d.kind}` directive",
+                d.loc,
+            )
+        allowed = ALLOWED_CLAUSES.get(d.kind)
+        if allowed is None:
+            raise CompileError(f"unknown directive `{d.kind}`", d.loc)
+        for clause in d.clauses:
+            if clause.name in _V20_CLAUSES and behavior.spec_version < ACC_20:
+                raise UnsupportedFeatureError(
+                    f"clause `{clause.name}` requires OpenACC 2.0", clause.loc
+                )
+            if clause.name not in allowed and clause.name not in _V20_CLAUSES:
+                raise CompileError(
+                    f"clause `{clause.name}` is not valid on `{d.kind}`",
+                    clause.loc,
+                )
+            if (d.kind, clause.name) in behavior.unsupported_clauses:
+                raise UnsupportedFeatureError(
+                    f"{behavior.label} does not support `{clause.name}` on "
+                    f"`{d.kind}`",
+                    clause.loc,
+                )
+            if (
+                behavior.require_constant_parallelism_exprs
+                and clause.name in _PARALLELISM_SIZE_CLAUSES
+                and clause.expr is not None
+                and not isinstance(clause.expr, IntLit)
+            ):
+                # CAPS < 3.1.0 (Section V-B, Fig. 9)
+                raise CompileError(
+                    f"{behavior.label}: `{clause.name}` requires a constant "
+                    "expression",
+                    clause.loc,
+                )
+            if clause.name == "reduction" and clause.op is None:
+                raise CompileError("reduction clause without operator", clause.loc)
+
+    def _check_region_calls(
+        self, body, user_functions: Set[str], routine_functions: Set[str]
+    ) -> None:
+        """1.0 cannot call user procedures inside compute regions."""
+        builtin = set(builtin_names())
+        for node in walk(body):
+            if isinstance(node, Call) and node.name in user_functions:
+                if node.name not in routine_functions:
+                    raise UnsupportedFeatureError(
+                        f"call to user procedure {node.name!r} inside a compute "
+                        "region (OpenACC 1.0 has no `routine` directive)",
+                        node.loc,
+                    )
+            elif isinstance(node, Call) and node.name not in builtin and node.name not in user_functions:
+                raise CompileError(
+                    f"call to unknown function {node.name!r}", node.loc
+                )
+
+    def _check_default_none(self, d: Directive, body, program: Program) -> None:
+        """2.0 `default(none)`: every referenced outer variable needs an
+        explicit data attribute."""
+        clause = d.clause("default")
+        if clause is None or clause.op != "none":
+            return
+        from repro.ir.astnodes import DeclStmt, Ident
+
+        explicit: Set[str] = set()
+        for c in d.clauses:
+            explicit.update(c.var_names)
+        declared = {
+            decl.name
+            for node in walk(body)
+            if isinstance(node, DeclStmt)
+            for decl in node.decls
+        }
+        loop_vars = {
+            node.var for node in walk(body) if hasattr(node, "var") and hasattr(node, "bound")
+        }
+        known_globals = {g.name for g in program.globals}
+        for node in walk(body):
+            if isinstance(node, Ident):
+                name = node.name
+                if (
+                    name not in explicit
+                    and name not in declared
+                    and name not in loop_vars
+                    and not name.startswith("acc_device_")
+                    and name not in known_globals
+                ):
+                    raise CompileError(
+                        f"default(none): variable {name!r} lacks an explicit "
+                        "data attribute",
+                        node.loc,
+                    )

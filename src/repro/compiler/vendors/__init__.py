@@ -1,0 +1,20 @@
+"""Simulated vendor compilers (Section V).
+
+Each vendor module defines the per-version bug inventories whose *counts*
+reproduce Table I exactly; the bugs themselves are behaviour patches on
+:class:`~repro.compiler.behavior.CompilerBehavior`, so running the suite
+against a version reproduces the qualitative pass-rate evolution of
+Fig. 8(a)/(b)/(c).
+"""
+
+from repro.compiler.vendors.bugmodel import BugRecord, VendorVersion, compose_behavior
+from repro.compiler.vendors.caps import CAPS_VERSIONS
+from repro.compiler.vendors.pgi import PGI_VERSIONS
+from repro.compiler.vendors.cray import CRAY_VERSIONS
+from repro.compiler.vendors.registry import VENDORS, vendor_versions, vendor_version
+
+__all__ = [
+    "BugRecord", "VendorVersion", "compose_behavior",
+    "CAPS_VERSIONS", "PGI_VERSIONS", "CRAY_VERSIONS",
+    "VENDORS", "vendor_versions", "vendor_version",
+]

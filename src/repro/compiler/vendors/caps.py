@@ -1,0 +1,158 @@
+"""Simulated CAPS compiler versions (Table I row 1; Fig. 8a).
+
+Calibration targets (bugs identified, C / Fortran):
+
+====== ====== ======
+ver      C      F
+====== ====== ======
+3.0.7    36     32
+3.0.8    24     70
+3.1.0    20     15
+3.2.3     1      1
+3.2.4     1      1
+3.3.0     1      0
+3.3.3     0      0
+3.3.4     0      0
+====== ====== ======
+
+Narrative encoded (Section V-A/V-B): 3.0.x were beta versions with large
+unsupported-feature inventories — 3.0.8's Fortran frontend regressed badly;
+versions before 3.1.0 additionally accepted only *constant* expressions in
+``num_gangs``/``num_workers``/``vector_length`` (Fig. 9); 3.1.x still had
+no working ``declare`` ("probably due to priority given to other important
+directives such as data, kernels, loop, parallel and update"); from 3.2.x
+quality is high and the last releases are clean.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.vendors.bugmodel import (
+    BugRecord,
+    VendorVersion,
+    unsupported_feature_bug,
+)
+from repro.compiler.vendors.pools import eligible_pool, take
+from repro.spec.devices import ACC_DEVICE_CUDA
+
+_BASE = dict(
+    mapping_description=(
+        "gang->grid-x, worker->block-y, vector->block-x (Section II)"
+    ),
+    # Section V-C: "CAPS compiler 3.3.3 considers two additional device
+    # types: acc_device_cuda and acc_device_opencl"
+    concrete_device_type=ACC_DEVICE_CUDA,
+)
+
+
+def _const_expr_bug(version: str) -> BugRecord:
+    return BugRecord.make(
+        bug_id=f"caps-{version}-c-const-parallelism",
+        title="variable expressions rejected in num_gangs/num_workers/"
+              "vector_length",
+        language="c",
+        patch={"require_constant_parallelism_exprs": True},
+        # latent for the standard suite: per Section IV-A1 the tests
+        # deliberately "use a constant value for our validation test
+        # purposes"; the Fig. 9 variable-expression variant exposes it
+        affects=(),
+        description=(
+            "Versions earlier than 3.1.0 only supported constant "
+            "expressions inside num_gangs/num_workers/vector_length "
+            "(Section V-B, Fig. 9)."
+        ),
+    )
+
+
+def _declare_bug(version: str, language: str) -> BugRecord:
+    tag = "c" if language == "c" else "f"
+    return BugRecord.make(
+        bug_id=f"caps-{version}-{tag}-declare",
+        title=f"declare directive not functional ({language})",
+        language=language,
+        patch={"unsupported_directives": frozenset({"declare"})},
+        affects=("declare.copy", "declare.copyin", "declare.copyout",
+                 "declare.create", "declare.present",
+                 "declare.device_resident"),
+        description=(
+            "CAPS 3.1.x had not passed the declare test scenarios "
+            "(Section V-A)."
+        ),
+    )
+
+
+def _beta_unsupported(version: str, language: str, count: int,
+                      all_features: List[str]) -> List[BugRecord]:
+    pool = eligible_pool(all_features)
+    return [
+        unsupported_feature_bug("caps", version, feature, language)
+        for feature in take(pool, count)
+    ]
+
+
+def build_caps_versions() -> List[VendorVersion]:
+    # import here: vendor tables are calibrated against the actual corpus
+    from repro.suite import openacc10_suite
+
+    features = openacc10_suite().features()
+    versions: List[VendorVersion] = []
+
+    # --- 3.0.7 (beta) ------------------------------------------------------
+    versions.append(VendorVersion(
+        vendor="caps", version="3.0.7",
+        c_bugs=[_const_expr_bug("3.0.7")]
+               + _beta_unsupported("3.0.7", "c", 35, features),
+        fortran_bugs=_beta_unsupported("3.0.7", "fortran", 32, features),
+        base_overrides=dict(_BASE),
+    ))
+
+    # --- 3.0.8 (beta; Fortran frontend regression) --------------------------
+    versions.append(VendorVersion(
+        vendor="caps", version="3.0.8",
+        c_bugs=[_const_expr_bug("3.0.8")]
+               + _beta_unsupported("3.0.8", "c", 23, features),
+        fortran_bugs=_beta_unsupported("3.0.8", "fortran", 70, features),
+        base_overrides=dict(_BASE),
+    ))
+
+    # --- 3.1.0 (const-expr fixed; declare still broken) ---------------------
+    versions.append(VendorVersion(
+        vendor="caps", version="3.1.0",
+        c_bugs=[_declare_bug("3.1.0", "c")]
+               + _beta_unsupported("3.1.0", "c", 19, features),
+        fortran_bugs=[_declare_bug("3.1.0", "fortran")]
+                     + _beta_unsupported("3.1.0", "fortran", 14, features),
+        base_overrides=dict(_BASE),
+    ))
+
+    # --- 3.2.3 / 3.2.4 (one residual bug each) ------------------------------
+    for version in ("3.2.3", "3.2.4"):
+        versions.append(VendorVersion(
+            vendor="caps", version=version,
+            c_bugs=[unsupported_feature_bug("caps", version,
+                                            "update.async", "c")],
+            fortran_bugs=[unsupported_feature_bug("caps", version,
+                                                  "update.async", "fortran")],
+            base_overrides=dict(_BASE),
+        ))
+
+    # --- 3.3.0 (Fortran clean; one C residual) ------------------------------
+    versions.append(VendorVersion(
+        vendor="caps", version="3.3.0",
+        c_bugs=[unsupported_feature_bug("caps", "3.3.0",
+                                        "runtime.acc_async_test_all", "c")],
+        fortran_bugs=[],
+        base_overrides=dict(_BASE),
+    ))
+
+    # --- 3.3.3 / 3.3.4 (clean) ----------------------------------------------
+    for version in ("3.3.3", "3.3.4"):
+        versions.append(VendorVersion(
+            vendor="caps", version=version,
+            base_overrides=dict(_BASE),
+        ))
+    return versions
+
+
+CAPS_VERSIONS: List[VendorVersion] = build_caps_versions()

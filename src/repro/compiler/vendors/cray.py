@@ -1,0 +1,118 @@
+"""Simulated Cray compiler versions (Table I row 3; Fig. 8c).
+
+Calibration targets (bugs identified, C / Fortran):
+
+====== ====== ======
+ver      C      F
+====== ====== ======
+8.1.2    16      6
+8.1.3    16      6
+8.1.4    16      6
+8.1.5    16      6
+8.1.6    16      6
+8.1.7    16      5
+8.1.8    16      5
+8.2.0    16      5
+====== ====== ======
+
+Narrative encoded: "the bar plots mostly show no variation" — the C
+inventory is constant across all eight versions and includes the two
+behavioural bugs discussed in Section V-B: scalar variables are not
+transferred by copy clauses ("Data copy for scalar variables"), and the
+optimiser deletes compute regions it proves free of computation, which
+breaks the Fig. 11 copyout test design.  The Fortran inventory is small and
+loses one bug at 8.1.7.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.vendors.bugmodel import (
+    BugRecord,
+    VendorVersion,
+    unsupported_feature_bug,
+)
+
+_BASE = dict(
+    mapping_description=(
+        "gang->thread block, worker->warp, vector->SIMT group (Section II)"
+    ),
+)
+
+_VERSIONS = (
+    "8.1.2", "8.1.3", "8.1.4", "8.1.5", "8.1.6", "8.1.7", "8.1.8", "8.2.0",
+)
+
+
+def _scalar_copy_bug(version: str) -> BugRecord:
+    return BugRecord.make(
+        bug_id=f"cray-{version}-c-scalar-copy",
+        title="scalar variables are not transferred by data copy clauses",
+        language="c",
+        patch={"skip_scalar_data_transfers": True},
+        affects=("parallel", "kernels", "loop.seq", "loop.collapse",
+                 "loop.private", "runtime.acc_on_device"),
+        description=(
+            "Copying a scalar between host and device silently does "
+            "nothing (Section V-B 'Data copy for scalar variables'); every "
+            "test observing results through a copied scalar fails."
+        ),
+    )
+
+
+def _dead_region_bug(version: str) -> BugRecord:
+    return BugRecord.make(
+        bug_id=f"cray-{version}-c-dead-region-elimination",
+        title="compute regions without computation are deleted",
+        language="c",
+        patch={"eliminate_copy_only_regions": True},
+        affects=(),
+        description=(
+            "Forward substitution plus dead-code elimination removes "
+            "compute regions that only copy arrays, defeating the original "
+            "copyout test design (Section V-B, Fig. 11); the suite's tests "
+            "were redesigned to always compute, so this bug is latent here."
+        ),
+    )
+
+
+_C_UNSUPPORTED = [
+    "declare.copy", "declare.copyin", "declare.copyout", "declare.create",
+    "declare.present", "declare.device_resident",
+    "host_data.use_device", "cache",
+    "parallel.deviceptr", "kernels.deviceptr", "data.deviceptr",
+    "runtime.acc_malloc", "runtime.acc_free", "update.async",
+]
+
+_F_UNSUPPORTED = [
+    "declare.copy", "declare.create", "host_data.use_device",
+    "update.async", "runtime.acc_malloc",
+]
+
+
+def build_cray_versions() -> List[VendorVersion]:
+    versions: List[VendorVersion] = []
+    for version in _VERSIONS:
+        c_bugs: List[BugRecord] = [
+            _scalar_copy_bug(version),
+            _dead_region_bug(version),
+        ]
+        for feature in _C_UNSUPPORTED:
+            c_bugs.append(unsupported_feature_bug("cray", version, feature, "c"))
+        fortran_features = list(_F_UNSUPPORTED)
+        if version in ("8.1.2", "8.1.3", "8.1.4", "8.1.5", "8.1.6"):
+            fortran_features.append("loop.collapse")
+        fortran_bugs = [
+            unsupported_feature_bug("cray", version, feature, "fortran")
+            for feature in fortran_features
+        ]
+        versions.append(VendorVersion(
+            vendor="cray", version=version,
+            c_bugs=c_bugs, fortran_bugs=fortran_bugs,
+            base_overrides=dict(_BASE),
+        ))
+    return versions
+
+
+CRAY_VERSIONS: List[VendorVersion] = build_cray_versions()

@@ -1,0 +1,158 @@
+"""Simulated PGI compiler versions (Table I row 2; Fig. 8b).
+
+Calibration targets (bugs identified, C / Fortran):
+
+====== ====== ======
+ver      C      F
+====== ====== ======
+12.6      8     14
+12.8      8     14
+12.9      7     14
+12.10     6     14
+13.2      6     14
+13.4      5     13
+13.6      5     13
+13.8      5     13
+====== ====== ======
+
+Narrative encoded: the persistent async-family bug of Section V-B
+(``async`` on a compute construct that carries data clauses blocks the
+asynchronous activity and wedges ``acc_async_test`` at the caller's initial
+value, Fig. 10 — "it can pass all of them if the data clauses are moved out
+using data directive"); steady fixes from 12.8 to 12.10; a 13.2 regression
+from the multi-target reorganisation that widens one data-clause bug (so
+Fig. 8b's pass rate dips although the bug *count* stays at six); recovery
+from 13.4.  PGI's execution model ignores the worker level (Section II).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.vendors.bugmodel import (
+    BugRecord,
+    VendorVersion,
+    unsupported_feature_bug,
+)
+
+_BASE = dict(
+    worker_ignored=True,
+    mapping_description=(
+        "gang->thread block, vector->threads, worker ignored (Section II)"
+    ),
+)
+
+_VERSIONS = ("12.6", "12.8", "12.9", "12.10", "13.2", "13.4", "13.6", "13.8")
+
+
+def _wedge_bug(version: str, language: str) -> BugRecord:
+    tag = "c" if language == "c" else "f"
+    return BugRecord.make(
+        bug_id=f"pgi-{version}-{tag}-async-wedge",
+        title="async on compute constructs with data clauses blocks "
+              "asynchronous execution",
+        language=language,
+        patch={"async_wedged_by_compute_data_clauses": True},
+        affects=("parallel.async", "kernels.async",
+                 "runtime.acc_async_test", "runtime.acc_async_test_all"),
+        description=(
+            "acc_async_test always returned the caller's initial value (-1) "
+            "when the async compute construct carried data clauses; moving "
+            "the data clauses to a data construct made the tests pass "
+            "(Section V-B, Fig. 10)."
+        ),
+    )
+
+
+def _reorg_bug(version: str) -> BugRecord:
+    return BugRecord.make(
+        bug_id=f"pgi-{version}-c-multitarget-kernels-data",
+        title="multi-target reorganisation regression: kernels data "
+              "clauses rejected",
+        language="c",
+        patch={"unsupported_clauses": frozenset({
+            ("kernels", "copyin"), ("kernels", "deviceptr"),
+            ("kernels", "present"), ("kernels", "create"),
+        })},
+        affects=("kernels.copyin", "kernels.deviceptr", "kernels.present",
+                 "kernels.create", "kernels.async"),
+        description=(
+            "The 13.x releases were reorganised to support multiple "
+            "targets; 13.2's pass rate regressed below 12.10 (Section V-A)."
+        ),
+    )
+
+
+def _update_wide_bug(version: str) -> BugRecord:
+    return BugRecord.make(
+        bug_id=f"pgi-{version}-c-update-ignored",
+        title="update directives have no effect",
+        language="c",
+        patch={"ignore_update": True},
+        affects=("update.host", "update.device", "update.if",
+                 "update.async"),
+        description=(
+            "Early releases silently dropped update data motion — a "
+            "wrong-code bug affecting every test that fetches results "
+            "mid-region."
+        ),
+    )
+
+
+def _c_bugs(version: str) -> List[BugRecord]:
+    bugs: List[BugRecord] = [_wedge_bug(version, "c")]
+    # persistent inventory present in every version
+    persistent = [
+        "kernels.deviceptr",
+        "declare.device_resident",
+        "loop.reduction.int_bitxor",   # broken ^ reduction (silent)
+        "cache",
+    ]
+    fixable = []
+    if version in ("12.6", "12.8"):
+        fixable.append("parallel.firstprivate")
+    if version in ("12.6", "12.8", "12.9"):
+        fixable.append("loop.collapse")
+        bugs.append(_update_wide_bug(version))   # wide early update bug
+    elif version in ("12.10", "13.2"):
+        fixable.append("update.device")          # narrowed, fixed in 13.4
+    if version == "13.2":
+        # the reorganisation regression temporarily subsumes the
+        # kernels.deviceptr bug (count stays at six, failures widen)
+        persistent = [f for f in persistent if f != "kernels.deviceptr"]
+        bugs.append(_reorg_bug(version))
+    for feature in persistent + fixable:
+        bugs.append(unsupported_feature_bug("pgi", version, feature, "c"))
+    return bugs
+
+
+def _fortran_bugs(version: str) -> List[BugRecord]:
+    bugs: List[BugRecord] = [_wedge_bug(version, "fortran")]
+    persistent = [
+        "declare.copy", "declare.copyin", "declare.copyout",
+        "declare.create", "declare.present", "declare.device_resident",
+        "host_data.use_device",
+        "kernels.deviceptr", "data.deviceptr", "parallel.deviceptr",
+        "cache", "update.async",
+    ]
+    fixable = []
+    if version in ("12.6", "12.8", "12.9", "12.10", "13.2"):
+        fixable.append("loop.collapse")
+    for feature in persistent + fixable:
+        bugs.append(unsupported_feature_bug("pgi", version, feature, "fortran"))
+    return bugs
+
+
+def build_pgi_versions() -> List[VendorVersion]:
+    return [
+        VendorVersion(
+            vendor="pgi", version=version,
+            c_bugs=_c_bugs(version),
+            fortran_bugs=_fortran_bugs(version),
+            base_overrides=dict(_BASE),
+        )
+        for version in _VERSIONS
+    ]
+
+
+PGI_VERSIONS: List[VendorVersion] = build_pgi_versions()

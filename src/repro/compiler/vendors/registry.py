@@ -1,0 +1,32 @@
+"""Vendor registry."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.compiler.vendors.bugmodel import VendorVersion
+from repro.compiler.vendors.caps import CAPS_VERSIONS
+from repro.compiler.vendors.cray import CRAY_VERSIONS
+from repro.compiler.vendors.pgi import PGI_VERSIONS
+
+VENDORS: Dict[str, List[VendorVersion]] = {
+    "caps": CAPS_VERSIONS,
+    "pgi": PGI_VERSIONS,
+    "cray": CRAY_VERSIONS,
+}
+
+
+def vendor_versions(vendor: str) -> List[VendorVersion]:
+    try:
+        return VENDORS[vendor]
+    except KeyError:
+        raise KeyError(
+            f"unknown vendor {vendor!r} (have: {', '.join(VENDORS)})"
+        ) from None
+
+
+def vendor_version(vendor: str, version: str) -> VendorVersion:
+    for vv in vendor_versions(vendor):
+        if vv.version == version:
+            return vv
+    raise KeyError(f"unknown {vendor} version {version!r}")

@@ -1,0 +1,14 @@
+"""Frontend infrastructure shared by the mini-C and mini-Fortran parsers:
+token model, error types and the language-parameterised OpenACC directive
+(clause list) parser.
+"""
+
+from repro.frontend.tokens import Token, TokenKind, TokenStream
+from repro.frontend.errors import FrontendError, LexError, ParseError
+from repro.frontend.directives import DirectiveParser
+
+__all__ = [
+    "Token", "TokenKind", "TokenStream",
+    "FrontendError", "LexError", "ParseError",
+    "DirectiveParser",
+]

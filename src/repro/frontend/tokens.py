@@ -1,0 +1,116 @@
+"""Token model and stream helpers shared by both lexers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional, Sequence
+
+from repro.frontend.errors import ParseError
+from repro.ir.astnodes import SourceLocation
+
+
+class TokenKind(Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    OP = "op"          # operators and punctuation
+    PRAGMA = "pragma"  # a whole `#pragma acc ...` / `!$acc ...` line
+    NEWLINE = "newline"  # statement separator (Fortran only)
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    loc: SourceLocation
+    value: object = None  # numeric payload for INT/FLOAT
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind is TokenKind.OP and self.text in texts
+
+    def is_keyword(self, *texts: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in texts
+
+    def is_ident(self, *texts: str) -> bool:
+        return self.kind is TokenKind.IDENT and (not texts or self.text in texts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r})"
+
+
+class TokenStream:
+    """Cursor over a token list with the usual LL(k) helpers."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens: List[Token] = list(tokens)
+        if not self._tokens or self._tokens[-1].kind is not TokenKind.EOF:
+            last_loc = self._tokens[-1].loc if self._tokens else SourceLocation()
+            self._tokens.append(Token(TokenKind.EOF, "", last_loc))
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    @property
+    def current(self) -> Token:
+        return self.peek()
+
+    def at_end(self) -> bool:
+        return self.current.kind is TokenKind.EOF
+
+    def advance(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def match_op(self, *texts: str) -> Optional[Token]:
+        if self.current.is_op(*texts):
+            return self.advance()
+        return None
+
+    def match_keyword(self, *texts: str) -> Optional[Token]:
+        if self.current.is_keyword(*texts):
+            return self.advance()
+        return None
+
+    def match_ident(self, *texts: str) -> Optional[Token]:
+        if self.current.is_ident(*texts):
+            return self.advance()
+        return None
+
+    def expect_op(self, text: str) -> Token:
+        tok = self.match_op(text)
+        if tok is None:
+            raise ParseError(
+                f"expected {text!r}, found {self.current.text!r}", self.current.loc
+            )
+        return tok
+
+    def expect_keyword(self, text: str) -> Token:
+        tok = self.match_keyword(text)
+        if tok is None:
+            raise ParseError(
+                f"expected keyword {text!r}, found {self.current.text!r}",
+                self.current.loc,
+            )
+        return tok
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is TokenKind.IDENT:
+            return self.advance()
+        raise ParseError(
+            f"expected identifier, found {self.current.text!r}", self.current.loc
+        )
+
+    def expect_kind(self, kind: TokenKind) -> Token:
+        if self.current.kind is kind:
+            return self.advance()
+        raise ParseError(
+            f"expected {kind.value}, found {self.current.text!r}", self.current.loc
+        )

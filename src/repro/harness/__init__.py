@@ -1,0 +1,40 @@
+"""The validation harness (paper Section III, Fig. 3).
+
+``runner`` drives the functional -> cross pipeline with repeated iterations
+and statistical certainty; ``stats`` implements the paper's p / pa / pc
+model; ``report`` renders results as plain text, HTML or CSV with bug
+reports carrying code snippets; ``config`` holds compiler configuration and
+feature selection; ``titan`` simulates the production deployment of
+Section VII (random-node validation across software stacks).
+"""
+
+from repro.harness.config import HarnessConfig
+from repro.harness.stats import (
+    accidental_pass_probability,
+    certainty,
+    cross_fail_probability,
+)
+from repro.harness.runner import (
+    FailureKind,
+    IterationOutcome,
+    PhaseResult,
+    SuiteRunReport,
+    TestResult,
+    ValidationRunner,
+)
+from repro.harness.report import (
+    render_csv,
+    render_html,
+    render_text,
+    render_bug_report,
+)
+from repro.harness.titan import Node, TitanCluster, TitanHarness, StackCheck
+
+__all__ = [
+    "HarnessConfig",
+    "accidental_pass_probability", "certainty", "cross_fail_probability",
+    "FailureKind", "IterationOutcome", "PhaseResult", "SuiteRunReport",
+    "TestResult", "ValidationRunner",
+    "render_csv", "render_html", "render_text", "render_bug_report",
+    "Node", "TitanCluster", "TitanHarness", "StackCheck",
+]

@@ -1,0 +1,36 @@
+"""Harness configuration (Section III: "Compiler configuration" and
+"Feature selection")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class HarnessConfig:
+    """Knobs for a validation run.
+
+    ``iterations`` is the paper's M: every test is repeated and the cross
+    results feed the certainty statistic pc = 1 - (1 - nf/M)^M.
+    """
+
+    iterations: int = 3
+    #: interpreter step budget per run; exceeding it is classified as the
+    #: paper's "executes forever" runtime error
+    max_steps: int = 2_000_000
+    #: languages to exercise (both by default, as in the paper)
+    languages: Sequence[str] = ("c", "fortran")
+    #: restrict to these dotted feature ids (None = all)
+    features: Optional[Sequence[str]] = None
+    #: restrict to features under these prefixes, e.g. ["parallel", "loop"]
+    feature_prefixes: Optional[Sequence[str]] = None
+    #: run cross tests (disabling them is the ablation of the cross-test
+    #: methodology benchmark)
+    run_cross: bool = True
+    #: base RNG seed; iteration k runs with seed base+k so repeated runs are
+    #: reproducible yet not identical
+    rng_seed: int = 20140519
+
+    def iteration_seeds(self):
+        return [self.rng_seed + k for k in range(self.iterations)]

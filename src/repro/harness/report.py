@@ -1,0 +1,144 @@
+"""Report generation (Section III "Results").
+
+"We can generate the validation results in any of the formats such as plain
+text, HTML and CSV" — and "we append the bug reports with code snippets for
+vendors' convenience".
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import List, Optional
+
+from repro.harness.runner import SuiteRunReport, TestResult
+
+
+def render_text(report: SuiteRunReport) -> str:
+    """Plain-text summary table plus failure details."""
+    lines: List[str] = []
+    lines.append(f"OpenACC validation report — {report.compiler_label}")
+    lines.append(
+        f"iterations per test: {report.config.iterations}; "
+        f"tests run: {len(report.results)}"
+    )
+    lines.append("")
+    header = f"{'feature':40s} {'lang':8s} {'result':8s} {'certainty':9s} detail"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in report.results:
+        status = "PASS" if r.passed else "FAIL"
+        detail = ""
+        if not r.passed:
+            detail = f"[{r.failure_kind.value}] {r.functional.failure_detail()[:60]}"
+        elif r.cross_inconclusive_unexpectedly:
+            detail = "(cross inconclusive: directive may have no effect)"
+        lines.append(
+            f"{r.feature:40s} {r.language:8s} {status:8s} "
+            f"{r.certainty:8.2%} {detail}"
+        )
+    lines.append("")
+    for lang in ("c", "fortran"):
+        pool = report.for_language(lang)
+        if pool:
+            lines.append(
+                f"{lang:8s}: {report.pass_rate(lang):6.2f}% pass "
+                f"({len(report.failures(lang))} failures / {len(pool)} tests)"
+            )
+    lines.append(f"overall : {report.pass_rate():6.2f}% pass")
+    kinds = report.by_failure_kind()
+    if kinds:
+        lines.append("failure kinds: " + ", ".join(
+            f"{k.value}={v}" for k, v in sorted(kinds.items(), key=lambda kv: kv[0].value)
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def render_csv(report: SuiteRunReport) -> str:
+    """Machine-readable CSV (one row per test)."""
+    rows = ["feature,language,result,failure_kind,certainty,cross_conclusive"]
+    for r in report.results:
+        kind = r.failure_kind.value if r.failure_kind else ""
+        conclusive = "" if r.cross_conclusive is None else str(r.cross_conclusive).lower()
+        rows.append(
+            f"{r.feature},{r.language},{'pass' if r.passed else 'fail'},"
+            f"{kind},{r.certainty:.4f},{conclusive}"
+        )
+    return "\n".join(rows) + "\n"
+
+
+def render_html(report: SuiteRunReport) -> str:
+    """Self-contained HTML report."""
+    rows = []
+    for r in report.results:
+        status = "pass" if r.passed else "fail"
+        detail = r.functional.failure_detail() if not r.passed else ""
+        rows.append(
+            "<tr class='{cls}'><td>{feature}</td><td>{lang}</td>"
+            "<td>{status}</td><td>{certainty:.2%}</td><td>{detail}</td></tr>".format(
+                cls=status,
+                feature=_html.escape(r.feature),
+                lang=r.language,
+                status=status.upper(),
+                certainty=r.certainty,
+                detail=_html.escape(detail[:120]),
+            )
+        )
+    summary = " | ".join(
+        f"{lang}: {report.pass_rate(lang):.1f}%"
+        for lang in ("c", "fortran")
+        if report.for_language(lang)
+    )
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>OpenACC validation — {_html.escape(report.compiler_label)}</title>
+<style>
+ body {{ font-family: sans-serif; }}
+ table {{ border-collapse: collapse; }}
+ td, th {{ border: 1px solid #999; padding: 2px 8px; }}
+ tr.pass td {{ background: #e7f7e7; }}
+ tr.fail td {{ background: #f7e7e7; }}
+</style></head>
+<body>
+<h1>OpenACC validation report — {_html.escape(report.compiler_label)}</h1>
+<p>{len(report.results)} tests, {report.config.iterations} iterations each.
+Pass rates: {summary}</p>
+<table>
+<tr><th>feature</th><th>language</th><th>result</th><th>certainty</th><th>detail</th></tr>
+{chr(10).join(rows)}
+</table>
+</body></html>
+"""
+
+
+def render_bug_report(report: SuiteRunReport, max_snippet_lines: int = 40) -> str:
+    """Failure-focused report with code snippets (for vendor convenience)."""
+    lines: List[str] = []
+    lines.append(f"Bug report — {report.compiler_label}")
+    failures = report.failures()
+    lines.append(f"{len(failures)} failing tests of {len(report.results)}")
+    for r in failures:
+        lines.append("")
+        lines.append("=" * 70)
+        lines.append(f"feature : {r.feature} ({r.language})")
+        lines.append(f"test    : {r.template.name}")
+        kind = r.failure_kind.value if r.failure_kind else "?"
+        lines.append(f"class   : {kind}")
+        lines.append(f"detail  : {r.functional.failure_detail()}")
+        if r.template.description:
+            lines.append(f"purpose : {r.template.description}")
+        lines.append("--- generated functional test " + "-" * 30)
+        snippet = r.functional.source.strip("\n").split("\n")
+        lines.extend(snippet[:max_snippet_lines])
+        if len(snippet) > max_snippet_lines:
+            lines.append(f"... ({len(snippet) - max_snippet_lines} more lines)")
+    inconclusive = report.inconclusive_crosses()
+    if inconclusive:
+        lines.append("")
+        lines.append("=" * 70)
+        lines.append(
+            "Cross tests that unexpectedly matched the functional result "
+            "(the tested directive may have no effect; test to be redesigned):"
+        )
+        for r in inconclusive:
+            lines.append(f"  - {r.feature} ({r.language})")
+    return "\n".join(lines) + "\n"

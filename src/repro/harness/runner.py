@@ -1,0 +1,282 @@
+"""The validation runner: functional -> cross pipeline (Fig. 3).
+
+For every template: generate the functional program, compile it with the
+implementation under test, run it ``M`` times on fresh simulated machines,
+and classify the outcome using the paper's error taxonomy (Section V):
+
+* ``COMPILE_ERROR`` — "assertion violations or other internal compilation
+  errors", e.g. an unsupported feature;
+* ``WRONG_VALUE`` — the vicious silent class: the program runs but returns
+  a failing status;
+* ``RUNTIME_CRASH`` — a code crash (simulated runtime exception);
+* ``TIMEOUT`` — "the code executes forever" (step budget exceeded).
+
+If the functional test passes and the template defines cross markers, the
+cross program runs next; ``nf`` incorrect cross runs out of ``M`` give the
+certainty ``pc = 1 - (1 - nf/M)^M``.  A cross that unexpectedly matches the
+functional result is *inconclusive* — per the paper it is reported (so the
+test can be redesigned), not charged to the compiler.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.accsim.errors import AccRuntimeError, ExecutionTimeout
+from repro.compiler import (
+    CompileError,
+    Compiler,
+    CompilerBehavior,
+    ExecutionLimits,
+)
+from repro.harness.config import HarnessConfig
+from repro.harness.stats import certainty
+from repro.suite.registry import SuiteRegistry
+from repro.templates import TestTemplate, generate_cross, generate_functional
+
+
+class FailureKind(Enum):
+    COMPILE_ERROR = "compile_error"
+    WRONG_VALUE = "wrong_value"
+    RUNTIME_CRASH = "runtime_crash"
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class IterationOutcome:
+    """One execution of one generated program."""
+
+    ok: bool
+    value: Optional[int] = None
+    error: Optional[str] = None
+    kind: Optional[FailureKind] = None
+    steps: int = 0
+
+
+@dataclass
+class PhaseResult:
+    """All iterations of one phase (functional or cross)."""
+
+    mode: str  # 'functional' | 'cross'
+    source: str
+    compile_error: Optional[str] = None
+    iterations: List[IterationOutcome] = field(default_factory=list)
+
+    @property
+    def incorrect_runs(self) -> int:
+        if self.compile_error is not None:
+            return len(self.iterations) or 1
+        return sum(1 for it in self.iterations if not it.ok)
+
+    @property
+    def all_correct(self) -> bool:
+        return self.compile_error is None and all(it.ok for it in self.iterations)
+
+    def dominant_failure(self) -> Optional[FailureKind]:
+        if self.compile_error is not None:
+            return FailureKind.COMPILE_ERROR
+        for it in self.iterations:
+            if it.kind is not None:
+                return it.kind
+        return None
+
+    def failure_detail(self) -> str:
+        if self.compile_error is not None:
+            return self.compile_error
+        for it in self.iterations:
+            if not it.ok:
+                return it.error or f"returned {it.value}"
+        return ""
+
+
+@dataclass
+class TestResult:
+    """Verdict for one (feature, language) template."""
+
+    template: TestTemplate
+    functional: PhaseResult
+    cross: Optional[PhaseResult] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def feature(self) -> str:
+        return self.template.feature
+
+    @property
+    def language(self) -> str:
+        return self.template.language
+
+    @property
+    def passed(self) -> bool:
+        return self.functional.all_correct
+
+    @property
+    def failure_kind(self) -> Optional[FailureKind]:
+        if self.passed:
+            return None
+        return self.functional.dominant_failure()
+
+    @property
+    def cross_conclusive(self) -> Optional[bool]:
+        """True/False once a cross ran; None when no cross was executed."""
+        if self.cross is None:
+            return None
+        return self.cross.incorrect_runs > 0
+
+    @property
+    def cross_inconclusive_unexpectedly(self) -> bool:
+        """The paper's "directive does not take any effect" signal."""
+        return (
+            self.cross is not None
+            and self.template.crossexpect == "different"
+            and self.cross.incorrect_runs == 0
+        )
+
+    @property
+    def certainty(self) -> float:
+        """pc over the cross iterations (0 when no conclusive cross ran)."""
+        if self.cross is None or not self.cross.iterations:
+            if self.cross is not None and self.cross.compile_error is not None:
+                return 1.0  # the cross variant cannot even compile
+            return 0.0
+        m = len(self.cross.iterations)
+        return certainty(self.cross.incorrect_runs, m)
+
+
+@dataclass
+class SuiteRunReport:
+    """All results of one suite run against one implementation."""
+
+    compiler_label: str
+    config: HarnessConfig
+    results: List[TestResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def for_language(self, language: str) -> List[TestResult]:
+        return [r for r in self.results if r.language == language]
+
+    def pass_rate(self, language: Optional[str] = None) -> float:
+        pool = self.for_language(language) if language else self.results
+        if not pool:
+            return 0.0
+        return 100.0 * sum(1 for r in pool if r.passed) / len(pool)
+
+    def failures(self, language: Optional[str] = None) -> List[TestResult]:
+        pool = self.for_language(language) if language else self.results
+        return [r for r in pool if not r.passed]
+
+    def failed_features(self, language: Optional[str] = None) -> List[str]:
+        return [r.feature for r in self.failures(language)]
+
+    def inconclusive_crosses(self) -> List[TestResult]:
+        return [r for r in self.results if r.cross_inconclusive_unexpectedly]
+
+    def by_failure_kind(self) -> Dict[FailureKind, int]:
+        out: Dict[FailureKind, int] = {}
+        for r in self.failures():
+            kind = r.failure_kind
+            if kind is not None:
+                out[kind] = out.get(kind, 0) + 1
+        return out
+
+
+class ValidationRunner:
+    """Runs templates against one simulated implementation."""
+
+    def __init__(
+        self,
+        behavior: Optional[CompilerBehavior] = None,
+        config: Optional[HarnessConfig] = None,
+    ):
+        self.compiler = Compiler(behavior) if behavior is not None else Compiler()
+        self.config = config or HarnessConfig()
+
+    @property
+    def behavior(self) -> CompilerBehavior:
+        return self.compiler.behavior
+
+    # ------------------------------------------------------------ execution
+
+    def run_template(self, template: TestTemplate) -> TestResult:
+        start = time.perf_counter()
+        functional = self._run_phase(template, "functional")
+        cross: Optional[PhaseResult] = None
+        if (
+            self.config.run_cross
+            and functional.all_correct
+            and template.has_cross
+        ):
+            cross = self._run_phase(template, "cross")
+        return TestResult(
+            template=template,
+            functional=functional,
+            cross=cross,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def run_suite(
+        self,
+        suite: SuiteRegistry,
+        templates: Optional[Iterable[TestTemplate]] = None,
+    ) -> SuiteRunReport:
+        config = self.config
+        if templates is None:
+            templates = suite.select(
+                languages=config.languages,
+                features=config.features,
+                prefixes=config.feature_prefixes,
+            )
+        report = SuiteRunReport(
+            compiler_label=self.behavior.label, config=config
+        )
+        start = time.perf_counter()
+        for template in templates:
+            report.results.append(self.run_template(template))
+        report.elapsed_s = time.perf_counter() - start
+        return report
+
+    # -------------------------------------------------------------- internals
+
+    def _run_phase(self, template: TestTemplate, mode: str) -> PhaseResult:
+        if mode == "functional":
+            generated = generate_functional(template)
+        else:
+            generated = generate_cross(template)
+        phase = PhaseResult(mode=mode, source=generated.source)
+        try:
+            compiled = self.compiler.compile(
+                generated.source, template.language, template.name
+            )
+        except CompileError as err:
+            phase.compile_error = str(err)
+            return phase
+        limits = ExecutionLimits(max_steps=self.config.max_steps)
+        env_vars = template.environment or None
+        for seed in self.config.iteration_seeds():
+            phase.iterations.append(
+                self._run_once(compiled, env_vars, limits, seed)
+            )
+        return phase
+
+    @staticmethod
+    def _run_once(compiled, env_vars, limits, seed) -> IterationOutcome:
+        try:
+            result = compiled.run(env_vars=env_vars, limits=limits, rng_seed=seed)
+        except ExecutionTimeout as err:
+            return IterationOutcome(
+                ok=False, error=str(err), kind=FailureKind.TIMEOUT
+            )
+        except AccRuntimeError as err:
+            return IterationOutcome(
+                ok=False, error=str(err), kind=FailureKind.RUNTIME_CRASH
+            )
+        ok = result.value == 1
+        return IterationOutcome(
+            ok=ok,
+            value=result.value,
+            kind=None if ok else FailureKind.WRONG_VALUE,
+            steps=result.steps,
+        )

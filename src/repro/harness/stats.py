@@ -1,0 +1,30 @@
+"""Statistical certainty model (paper Section III).
+
+"If nf is the number of failed cross tests and M the total number of
+iterations, the probability that the test will fail is p = nf/M.  Thus the
+probability that an incorrect implementation passes the test is
+pa = (1-p)^M, and the certainty of test is pc = 1 - pa, i.e. the
+probability that a directive is validated."
+"""
+
+from __future__ import annotations
+
+
+def cross_fail_probability(nf: int, m: int) -> float:
+    """p = nf / M."""
+    if m <= 0:
+        raise ValueError("iteration count must be positive")
+    if not 0 <= nf <= m:
+        raise ValueError(f"invalid failed-cross count {nf} of {m}")
+    return nf / m
+
+
+def accidental_pass_probability(nf: int, m: int) -> float:
+    """pa = (1 - p)^M — the chance an incorrect implementation slips by."""
+    p = cross_fail_probability(nf, m)
+    return (1.0 - p) ** m
+
+
+def certainty(nf: int, m: int) -> float:
+    """pc = 1 - pa — confidence that the directive is really validated."""
+    return 1.0 - accidental_pass_probability(nf, m)

@@ -1,0 +1,192 @@
+"""Production-use simulation (paper Section VII, Fig. 13).
+
+"The OpenACC validation suite is being used to validate the functionality
+of the programming environment of Titan ... to track functionality
+improvements or degradation over time.  The suite runs on random nodes to
+check functionality requirements of the nodes.  It is also used to test
+different software stacks, for example, to test the translation of OpenACC
+to CUDA or OpenCL."
+
+The cluster model: nodes carry one compiler behaviour per software stack
+(OpenACC->CUDA and OpenACC->OpenCL); a fraction of nodes are *degraded*
+(their stack behaves like a buggy compiler — the observable of a flaky GPU
+or broken driver at the validation-suite level).  The harness samples
+random nodes, validates each stack with a (configurable subset of the)
+suite, and tracks per-epoch aggregate pass rates across software-stack
+upgrades.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler import CompilerBehavior
+from repro.harness.config import HarnessConfig
+from repro.harness.runner import SuiteRunReport, ValidationRunner
+from repro.spec.devices import ACC_DEVICE_NVIDIA, ACC_DEVICE_OPENCL
+from repro.suite.registry import SuiteRegistry
+
+#: the two software stacks of Fig. 13
+STACK_CUDA = "openacc-cuda"
+STACK_OPENCL = "openacc-opencl"
+
+
+def default_stacks() -> Dict[str, CompilerBehavior]:
+    """A healthy node's stacks: both conforming, different back-end types."""
+    return {
+        STACK_CUDA: CompilerBehavior(
+            name="titan-cc", version="cuda",
+            concrete_device_type=ACC_DEVICE_NVIDIA,
+            mapping_description="gang->block, worker->warp, vector->threads",
+        ),
+        STACK_OPENCL: CompilerBehavior(
+            name="titan-cc", version="opencl",
+            concrete_device_type=ACC_DEVICE_OPENCL,
+            mapping_description="gang->workgroup, worker->subgroup, vector->workitems",
+        ),
+    }
+
+
+def default_degradation(behavior: CompilerBehavior, node_id: int) -> CompilerBehavior:
+    """Deterministic per-node fault models for degraded nodes.
+
+    Rotates through the silent-failure classes a flaky node surfaces at the
+    validation-suite level.
+    """
+    faults = [
+        dict(ignore_update=True),
+        dict(async_wedged_by_compute_data_clauses=True),
+        dict(copyout_not_copied=True),
+        dict(broken_reductions=frozenset({"+", "*"})),
+    ]
+    return behavior.with_(**faults[node_id % len(faults)])
+
+
+@dataclass
+class Node:
+    node_id: int
+    stacks: Dict[str, CompilerBehavior]
+    healthy: bool = True
+
+
+@dataclass
+class StackCheck:
+    """Result of validating one stack on one node."""
+
+    node_id: int
+    stack: str
+    healthy: bool
+    report: SuiteRunReport
+
+    @property
+    def pass_rate(self) -> float:
+        return self.report.pass_rate()
+
+    @property
+    def flagged(self) -> bool:
+        """Would the production harness flag this node/stack?"""
+        return bool(self.report.failures())
+
+
+class TitanCluster:
+    """A set of nodes, some degraded, each carrying both software stacks."""
+
+    def __init__(
+        self,
+        num_nodes: int = 16,
+        degraded_fraction: float = 0.25,
+        seed: int = 2012,
+        stacks_factory: Callable[[], Dict[str, CompilerBehavior]] = default_stacks,
+        degrade: Callable[[CompilerBehavior, int], CompilerBehavior] = default_degradation,
+    ):
+        rng = random.Random(seed)
+        self.nodes: List[Node] = []
+        n_degraded = round(num_nodes * degraded_fraction)
+        degraded_ids = set(rng.sample(range(num_nodes), n_degraded))
+        for node_id in range(num_nodes):
+            stacks = stacks_factory()
+            healthy = node_id not in degraded_ids
+            if not healthy:
+                stacks = {
+                    name: degrade(behavior, node_id)
+                    for name, behavior in stacks.items()
+                }
+            self.nodes.append(Node(node_id=node_id, stacks=stacks, healthy=healthy))
+
+    def upgrade_stack(self, stack: str, new_behavior: CompilerBehavior) -> None:
+        """Roll a new compiler version onto every *healthy* node's stack
+        (degraded nodes keep their faults on top of the new version)."""
+        for node in self.nodes:
+            if node.healthy:
+                node.stacks[stack] = new_behavior
+            else:
+                node.stacks[stack] = default_degradation(new_behavior, node.node_id)
+
+
+class TitanHarness:
+    """Random-node validation sweeps and longitudinal tracking."""
+
+    def __init__(
+        self,
+        cluster: TitanCluster,
+        suite: SuiteRegistry,
+        config: Optional[HarnessConfig] = None,
+        feature_prefixes: Optional[Sequence[str]] = None,
+    ):
+        self.cluster = cluster
+        self.suite = suite
+        # production sweeps favour quick turnaround: 1 iteration, no cross
+        self.config = config or HarnessConfig(iterations=1, run_cross=False)
+        if feature_prefixes is not None:
+            self.config.feature_prefixes = feature_prefixes
+
+    def check_node(self, node: Node, stack: str) -> StackCheck:
+        runner = ValidationRunner(node.stacks[stack], self.config)
+        report = runner.run_suite(self.suite)
+        return StackCheck(
+            node_id=node.node_id, stack=stack, healthy=node.healthy,
+            report=report,
+        )
+
+    def sweep(self, sample_size: int, seed: int = 0,
+              stacks: Sequence[str] = (STACK_CUDA, STACK_OPENCL)) -> List[StackCheck]:
+        """Validate a random node sample across the given stacks."""
+        rng = random.Random(seed)
+        sample = rng.sample(self.cluster.nodes, min(sample_size, len(self.cluster.nodes)))
+        checks: List[StackCheck] = []
+        for node in sample:
+            for stack in stacks:
+                checks.append(self.check_node(node, stack))
+        return checks
+
+    def timeline(
+        self,
+        epochs: int,
+        sample_size: int = 4,
+        upgrades: Optional[Dict[int, Tuple[str, CompilerBehavior]]] = None,
+        seed: int = 0,
+    ) -> List[Dict[str, float]]:
+        """Per-epoch aggregate pass rates per stack (functionality tracking).
+
+        ``upgrades`` maps an epoch index to a (stack, behaviour) rollout
+        applied before that epoch's sweep — regressions and fixes in the
+        rolled-out compiler show up as rate changes.
+        """
+        records: List[Dict[str, float]] = []
+        for epoch in range(epochs):
+            if upgrades and epoch in upgrades:
+                stack, behavior = upgrades[epoch]
+                self.cluster.upgrade_stack(stack, behavior)
+            checks = self.sweep(sample_size, seed=seed + epoch)
+            record: Dict[str, float] = {"epoch": float(epoch)}
+            for stack in (STACK_CUDA, STACK_OPENCL):
+                pool = [c for c in checks if c.stack == stack]
+                if pool:
+                    record[stack] = sum(c.pass_rate for c in pool) / len(pool)
+                record[f"{stack}:flagged"] = float(
+                    sum(1 for c in pool if c.flagged)
+                )
+            records.append(record)
+        return records

@@ -1,0 +1,12 @@
+"""mini-C frontend.
+
+A compact C subset sufficient for the generated OpenACC validation programs:
+function definitions, scalar/array declarations, `for`/`while`/`if`, the
+usual expression grammar, calls, and ``#pragma acc`` directives (with
+backslash continuations).
+"""
+
+from repro.minic.lexer import tokenize
+from repro.minic.parser import parse_program, parse_expression_text
+
+__all__ = ["tokenize", "parse_program", "parse_expression_text"]

@@ -1,0 +1,217 @@
+"""mini-C lexer.
+
+Produces :class:`repro.frontend.tokens.Token` sequences.  ``#pragma acc``
+lines (including backslash continuations, as used by the paper's listings,
+e.g. Fig. 4) become single :data:`TokenKind.PRAGMA` tokens whose text is the
+directive payload after the ``acc`` sentinel.  Other preprocessor lines
+(``#include`` etc.) are skipped — the generated programs are self-contained.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.frontend.errors import LexError
+from repro.frontend.tokens import Token, TokenKind
+from repro.ir.astnodes import SourceLocation
+
+C_KEYWORDS = frozenset(
+    """
+    int long float double char void if else for while do return break
+    continue sizeof static const unsigned signed struct
+    """.split()
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=", "...",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", ".",
+]
+
+_NUMBER_RE = re.compile(
+    r"""
+    (?P<hex>0[xX][0-9a-fA-F]+)
+    | (?P<float>
+        (?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)(?:[fFlL])?
+        | (?:\d+\.\d*|\.\d+)(?:[fFlL])?
+        | \d+[fF]
+      )
+    | (?P<int>\d+[uUlL]*)
+    """,
+    re.VERBOSE,
+)
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def tokenize(source: str, filename: str = "<c>") -> List[Token]:
+    """Tokenize mini-C source text."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+
+    def loc() -> SourceLocation:
+        return SourceLocation(filename, line, col)
+
+    def bump(text: str) -> None:
+        nonlocal line, col
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+
+    while i < n:
+        ch = source[i]
+
+        # whitespace
+        if ch in " \t\r\n":
+            bump(ch)
+            i += 1
+            continue
+
+        # comments
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            end = n if end == -1 else end
+            bump(source[i:end])
+            i = end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", loc())
+            bump(source[i : end + 2])
+            i = end + 2
+            continue
+
+        # preprocessor lines
+        if ch == "#" and (col == 1 or source[i - 1] == "\n" or _only_ws_before(source, i)):
+            start_loc = loc()
+            j = i
+            # glue backslash continuations
+            while True:
+                end = source.find("\n", j)
+                end = n if end == -1 else end
+                stripped = source[j:end].rstrip()
+                if stripped.endswith("\\"):
+                    j = end + 1
+                    if j >= n:
+                        break
+                else:
+                    break
+            full = source[i:end].replace("\\\n", " ").replace("\\\r\n", " ")
+            bump(source[i:end])
+            i = end
+            m = re.match(r"\s*#\s*pragma\s+acc\b(.*)", full, re.DOTALL)
+            if m:
+                tokens.append(
+                    Token(TokenKind.PRAGMA, m.group(1).strip(), start_loc)
+                )
+            # any other preprocessor directive is ignored
+            continue
+
+        # string literal
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", loc())
+            text = source[i : j + 1]
+            tokens.append(Token(TokenKind.STRING, text, loc(), value=_unescape(text[1:-1])))
+            bump(text)
+            i = j + 1
+            continue
+
+        # char literal -> int token
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                j += 1
+            j += 1
+            if j >= n or source[j] != "'":
+                raise LexError("unterminated char literal", loc())
+            text = source[i : j + 1]
+            tokens.append(
+                Token(TokenKind.INT, text, loc(), value=ord(_unescape(text[1:-1])))
+            )
+            bump(text)
+            i = j + 1
+            continue
+
+        # number
+        m = _NUMBER_RE.match(source, i)
+        if m and m.start() == i and (ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit())):
+            text = m.group(0)
+            start_loc = loc()
+            if m.lastgroup == "hex":
+                tokens.append(Token(TokenKind.INT, text, start_loc, value=int(text, 16)))
+            elif m.lastgroup == "float":
+                stripped = text.rstrip("fFlL")
+                single = text[-1] in "fF"
+                tokens.append(
+                    Token(TokenKind.FLOAT, text, start_loc, value=(float(stripped), single))
+                )
+            else:
+                tokens.append(
+                    Token(TokenKind.INT, text, start_loc, value=int(text.rstrip("uUlL")))
+                )
+            bump(text)
+            i = m.end()
+            continue
+
+        # identifier / keyword
+        m = _IDENT_RE.match(source, i)
+        if m:
+            text = m.group(0)
+            kind = TokenKind.KEYWORD if text in C_KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, loc()))
+            bump(text)
+            i = m.end()
+            continue
+
+        # operator / punctuation
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, loc()))
+                bump(op)
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", loc())
+
+    tokens.append(Token(TokenKind.EOF, "", loc()))
+    return tokens
+
+
+def _only_ws_before(source: str, i: int) -> bool:
+    j = i - 1
+    while j >= 0 and source[j] in " \t":
+        j -= 1
+    return j < 0 or source[j] == "\n"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"', "'": "'"}
+
+
+def _unescape(body: str) -> str:
+    out = []
+    i = 0
+    while i < len(body):
+        if body[i] == "\\" and i + 1 < len(body):
+            out.append(_ESCAPES.get(body[i + 1], body[i + 1]))
+            i += 2
+        else:
+            out.append(body[i])
+            i += 1
+    return "".join(out)

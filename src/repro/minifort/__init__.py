@@ -1,0 +1,15 @@
+"""mini-Fortran frontend.
+
+A free-form Fortran subset sufficient for the generated OpenACC validation
+programs: program units / functions / subroutines, ``integer``/``real``/
+``double precision``/``logical`` declarations (with ``dimension`` and
+explicit bounds), ``do`` / ``do while`` / ``if-then-else``, the Fortran
+expression grammar (including dot operators and ``**``), and ``!$acc``
+directives with ``&`` continuations and ``!$acc end <construct>`` region
+terminators.  Output is the same shared AST the mini-C frontend produces.
+"""
+
+from repro.minifort.lexer import tokenize
+from repro.minifort.parser import parse_program, parse_expression_text
+
+__all__ = ["tokenize", "parse_program", "parse_expression_text"]

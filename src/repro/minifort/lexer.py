@@ -1,0 +1,235 @@
+"""mini-Fortran lexer (free form).
+
+Notable behaviours:
+
+* newlines are significant (statement separators) and produced as
+  :data:`TokenKind.NEWLINE` tokens; ``;`` is treated the same way;
+* ``&`` at end of line joins continuation lines (an optional leading ``&``
+  on the continuation is consumed);
+* ``!`` starts a comment, except the OpenACC sentinel ``!$acc`` which
+  becomes a single :data:`TokenKind.PRAGMA` token (directive continuations
+  ``!$acc ... &`` / ``!$acc& ...`` are glued);
+* dot operators (``.and.``, ``.eq.``, ...) are lexed as OP tokens;
+  ``.true.`` / ``.false.`` become INT literals 1/0;
+* ``1.0d0`` style kind exponents produce double-precision FLOAT tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.frontend.errors import LexError
+from repro.frontend.tokens import Token, TokenKind
+from repro.ir.astnodes import SourceLocation
+
+FORTRAN_KEYWORDS = frozenset(
+    """
+    program function subroutine end call do while if then else elseif
+    endif enddo exit cycle return integer real double precision logical
+    dimension implicit none result parameter intent print stop continue
+    """.split()
+)
+
+_DOT_OPS = [
+    ".and.", ".or.", ".not.", ".eqv.", ".neqv.",
+    ".eq.", ".ne.", ".lt.", ".le.", ".gt.", ".ge.",
+]
+_DOT_LITERALS = {".true.": 1, ".false.": 0}
+
+_OPERATORS = [
+    "**", "==", "/=", "<=", ">=", "//", "::", "=>",
+    "+", "-", "*", "/", "<", ">", "=", "(", ")", ",", ":", "%",
+]
+
+_IDENT_RE = re.compile(r"[A-Za-z][A-Za-z0-9_]*")
+
+# number: mantissa with optional d/e exponent; 'd' exponent => double
+_NUMBER_RE = re.compile(
+    r"(?P<mant>(?:\d+\.\d*|\.\d+|\d+))(?:(?P<expchar>[edED])(?P<exp>[+-]?\d+))?"
+)
+
+
+def _glue_continuations(source: str) -> str:
+    """Join `&`-continued lines (both code and !$acc directive lines)."""
+    out_lines: List[str] = []
+    lines = source.split("\n")
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        # pure directive continuation handling happens in the main loop;
+        # here only glue code-level '&' endings
+        stripped = line.rstrip()
+        body = stripped
+        # strip trailing comment before looking for '&' (but not inside string)
+        while body.endswith("&") and not body.lstrip().lower().startswith("!$acc"):
+            nxt = lines[i + 1] if i + 1 < len(lines) else ""
+            nxt_stripped = nxt.lstrip()
+            if nxt_stripped.startswith("&"):
+                nxt_stripped = nxt_stripped[1:]
+            body = body[:-1].rstrip() + " " + nxt_stripped.rstrip()
+            i += 1
+        out_lines.append(body)
+        i += 1
+    return "\n".join(out_lines)
+
+
+def tokenize(source: str, filename: str = "<fortran>") -> List[Token]:
+    """Tokenize mini-Fortran source text."""
+    source = _glue_continuations(source)
+    tokens: List[Token] = []
+    lines = source.split("\n")
+    lineno = 0
+    n_lines = len(lines)
+
+    while lineno < n_lines:
+        raw = lines[lineno]
+        lineno += 1
+        line = raw
+        col0 = 1
+
+        def loc(col: int) -> SourceLocation:
+            return SourceLocation(filename, lineno, col)
+
+        stripped = line.lstrip()
+        lead = len(line) - len(stripped)
+
+        # OpenACC sentinel (must be checked before general comment)
+        m = re.match(r"!\$acc\b(.*)", stripped, re.IGNORECASE)
+        if m:
+            text = m.group(1).strip()
+            # directive continuation: trailing '&', next lines start !$acc
+            while text.endswith("&") and lineno < n_lines:
+                nxt = lines[lineno].lstrip()
+                m2 = re.match(r"!\$acc&?(.*)", nxt, re.IGNORECASE)
+                if not m2:
+                    break
+                lineno += 1
+                text = text[:-1].strip() + " " + m2.group(1).strip()
+            if text.lower().startswith("end"):
+                # `!$acc end parallel` -> PRAGMA token with 'end ...' payload
+                pass
+            tokens.append(Token(TokenKind.PRAGMA, text, loc(lead + 1)))
+            tokens.append(Token(TokenKind.NEWLINE, "\n", loc(len(line) + 1)))
+            continue
+
+        i = 0
+        emitted = False
+        while i < len(line):
+            ch = line[i]
+            if ch in " \t\r":
+                i += 1
+                continue
+            if ch == "!":
+                break  # comment to end of line
+            if ch == ";":
+                tokens.append(Token(TokenKind.NEWLINE, ";", loc(i + 1)))
+                i += 1
+                emitted = False
+                continue
+
+            # strings (both quote styles, doubled-quote escapes)
+            if ch in "'\"":
+                q = ch
+                j = i + 1
+                buf = []
+                while j < len(line):
+                    if line[j] == q:
+                        if j + 1 < len(line) and line[j + 1] == q:
+                            buf.append(q)
+                            j += 2
+                            continue
+                        break
+                    buf.append(line[j])
+                    j += 1
+                if j >= len(line):
+                    raise LexError("unterminated string", loc(i + 1))
+                tokens.append(
+                    Token(TokenKind.STRING, line[i : j + 1], loc(i + 1), value="".join(buf))
+                )
+                i = j + 1
+                emitted = True
+                continue
+
+            # dot operators and logical literals
+            if ch == ".":
+                low = line[i:].lower()
+                matched = False
+                for lit, val in _DOT_LITERALS.items():
+                    if low.startswith(lit):
+                        tokens.append(Token(TokenKind.INT, lit, loc(i + 1), value=val))
+                        i += len(lit)
+                        matched = True
+                        break
+                if matched:
+                    emitted = True
+                    continue
+                for op in _DOT_OPS:
+                    if low.startswith(op):
+                        tokens.append(Token(TokenKind.OP, op, loc(i + 1)))
+                        i += len(op)
+                        matched = True
+                        break
+                if matched:
+                    emitted = True
+                    continue
+                # fall through: may be a number like `.5`
+
+            # numbers
+            if ch.isdigit() or (
+                ch == "." and i + 1 < len(line) and line[i + 1].isdigit()
+            ):
+                m = _NUMBER_RE.match(line, i)
+                assert m is not None
+                text = m.group(0)
+                mant = m.group("mant")
+                expchar = m.group("expchar")
+                if "." in mant or expchar:
+                    value = float(mant) * (
+                        10.0 ** int(m.group("exp")) if expchar else 1.0
+                    )
+                    is_double = bool(expchar) and expchar.lower() == "d"
+                    tokens.append(
+                        Token(
+                            TokenKind.FLOAT,
+                            text,
+                            loc(i + 1),
+                            value=(value, not is_double),
+                        )
+                    )
+                else:
+                    tokens.append(Token(TokenKind.INT, text, loc(i + 1), value=int(mant)))
+                i = m.end()
+                emitted = True
+                continue
+
+            # identifiers / keywords
+            m = _IDENT_RE.match(line, i)
+            if m:
+                text = m.group(0)
+                lowered = text.lower()
+                kind = (
+                    TokenKind.KEYWORD
+                    if lowered in FORTRAN_KEYWORDS
+                    else TokenKind.IDENT
+                )
+                tokens.append(Token(kind, lowered, loc(i + 1)))
+                i = m.end()
+                emitted = True
+                continue
+
+            # operators
+            for op in _OPERATORS:
+                if line.startswith(op, i):
+                    tokens.append(Token(TokenKind.OP, op, loc(i + 1)))
+                    i += len(op)
+                    break
+            else:
+                raise LexError(f"unexpected character {ch!r}", loc(i + 1))
+            emitted = True
+
+        if emitted:
+            tokens.append(Token(TokenKind.NEWLINE, "\n", loc(len(line) + 1)))
+
+    tokens.append(Token(TokenKind.EOF, "", SourceLocation(filename, lineno, 1)))
+    return tokens

@@ -1,0 +1,28 @@
+"""OpenACC specification model.
+
+:mod:`repro.spec.features` holds the feature tree the paper's testsuite is
+organised around ("tests are generated in the form of a tree structure: it
+begins by covering OpenACC directives followed by clauses belonging to those
+directives, as well as the runtime routines and environment variables");
+:mod:`repro.spec.devices` the device-type lattice of Section V-C;
+:mod:`repro.spec.reductions` the reduction operator table of Section IV-C4.
+"""
+
+from repro.spec.versions import SpecVersion, ACC_10, ACC_20
+from repro.spec.devices import DeviceType, STANDARD_DEVICE_TYPES, VENDOR_DEVICE_TYPES
+from repro.spec.reductions import ReductionOp, REDUCTION_OPS, reduction_identity, reduction_combine
+from repro.spec.features import (
+    Feature,
+    FeatureKind,
+    FeatureRegistry,
+    OPENACC_10,
+    OPENACC_20_ADDITIONS,
+)
+
+__all__ = [
+    "SpecVersion", "ACC_10", "ACC_20",
+    "DeviceType", "STANDARD_DEVICE_TYPES", "VENDOR_DEVICE_TYPES",
+    "ReductionOp", "REDUCTION_OPS", "reduction_identity", "reduction_combine",
+    "Feature", "FeatureKind", "FeatureRegistry",
+    "OPENACC_10", "OPENACC_20_ADDITIONS",
+]

@@ -1,0 +1,108 @@
+"""Device types.
+
+OpenACC 1.0 defines four device types (``acc_device_none``,
+``acc_device_default``, ``acc_device_host``, ``acc_device_not_host``); real
+implementations extended this set in incompatible ways, which the paper
+flags as an "interesting observation" (Section V-C, Fig. 12).  We model both
+the standard lattice and the vendor extensions so the device-type tests can
+observe exactly the behaviour the paper reports: the concrete type returned
+for ``acc_device_not_host`` is implementation-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class DeviceType:
+    """A named device type constant.
+
+    ``not_host`` is True for every attached accelerator type, so that
+    ``acc_get_device_type() != acc_device_not_host`` comparisons can be
+    answered the way the runtime routines of Section V-C require: a request
+    for ``acc_device_not_host`` is satisfied by *any* concrete accelerator.
+    """
+
+    name: str
+    not_host: bool
+    standard: bool = True
+
+    def matches(self, requested: "DeviceType") -> bool:
+        """Does this concrete type satisfy a request for ``requested``?"""
+        if requested.name == "acc_device_none":
+            return self.name == "acc_device_none"
+        if requested.name == "acc_device_default":
+            return True
+        if requested.name == "acc_device_not_host":
+            return self.not_host
+        if requested.name == "acc_device_host":
+            return not self.not_host
+        if self.name == requested.name:
+            return True
+        # vendor names for the same hardware class are interchangeable
+        # requests (Section V-C: CAPS called the CUDA device
+        # acc_device_cuda where PGI/Cray said acc_device_nvidia)
+        for group in _COMPAT_GROUPS:
+            if self.name in group and requested.name in group:
+                return True
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: vendor spellings that denote the same hardware class
+_COMPAT_GROUPS = (
+    frozenset({"acc_device_nvidia", "acc_device_cuda"}),
+    frozenset({"acc_device_opencl", "acc_device_pgi_opencl",
+               "acc_device_nvidia_opencl"}),
+)
+
+ACC_DEVICE_NONE = DeviceType("acc_device_none", not_host=False)
+ACC_DEVICE_DEFAULT = DeviceType("acc_device_default", not_host=True)
+ACC_DEVICE_HOST = DeviceType("acc_device_host", not_host=False)
+ACC_DEVICE_NOT_HOST = DeviceType("acc_device_not_host", not_host=True)
+
+STANDARD_DEVICE_TYPES: Tuple[DeviceType, ...] = (
+    ACC_DEVICE_NONE,
+    ACC_DEVICE_DEFAULT,
+    ACC_DEVICE_HOST,
+    ACC_DEVICE_NOT_HOST,
+)
+
+# Vendor extensions observed in Section V-C.
+ACC_DEVICE_CUDA = DeviceType("acc_device_cuda", not_host=True, standard=False)
+ACC_DEVICE_OPENCL = DeviceType("acc_device_opencl", not_host=True, standard=False)
+ACC_DEVICE_NVIDIA = DeviceType("acc_device_nvidia", not_host=True, standard=False)
+ACC_DEVICE_RADEON = DeviceType("acc_device_radeon", not_host=True, standard=False)
+ACC_DEVICE_XEONPHI = DeviceType("acc_device_xeonphi", not_host=True, standard=False)
+ACC_DEVICE_PGI_OPENCL = DeviceType("acc_device_pgi_opencl", not_host=True, standard=False)
+ACC_DEVICE_NVIDIA_OPENCL = DeviceType("acc_device_nvidia_opencl", not_host=True, standard=False)
+
+#: Extensions by vendor, as catalogued in Section V-C.
+VENDOR_DEVICE_TYPES = {
+    "caps": (ACC_DEVICE_CUDA, ACC_DEVICE_OPENCL),
+    "pgi": (
+        ACC_DEVICE_NVIDIA,
+        ACC_DEVICE_RADEON,
+        ACC_DEVICE_XEONPHI,
+        ACC_DEVICE_PGI_OPENCL,
+        ACC_DEVICE_NVIDIA_OPENCL,
+    ),
+    "cray": (ACC_DEVICE_NVIDIA,),
+    "reference": (ACC_DEVICE_NVIDIA,),
+}
+
+_BY_NAME = {d.name: d for d in STANDARD_DEVICE_TYPES}
+for _types in VENDOR_DEVICE_TYPES.values():
+    for _d in _types:
+        _BY_NAME.setdefault(_d.name, _d)
+
+
+def device_type_by_name(name: str) -> DeviceType:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown device type {name!r}") from None

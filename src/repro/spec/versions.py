@@ -1,0 +1,38 @@
+"""Specification versions.
+
+The paper targets OpenACC 1.0 but stresses that "the framework of the
+testsuite is robust enough to create test cases for 2.0 and future releases";
+we encode the version as a value object so the compiler and suite can gate
+2.0-only behaviour (``default(none)``, ``enter data``/``exit data``,
+``routine``, strict loop nesting — Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class SpecVersion:
+    major: int
+    minor: int
+
+    def __str__(self) -> str:
+        return f"{self.major}.{self.minor}"
+
+    def _key(self) -> tuple:
+        return (self.major, self.minor)
+
+    def __lt__(self, other: "SpecVersion") -> bool:
+        return self._key() < other._key()
+
+    @classmethod
+    def parse(cls, text: str) -> "SpecVersion":
+        major, minor = text.split(".")
+        return cls(int(major), int(minor))
+
+
+ACC_10 = SpecVersion(1, 0)
+ACC_20 = SpecVersion(2, 0)

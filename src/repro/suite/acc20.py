@@ -1,0 +1,233 @@
+"""Forward-looking OpenACC 2.0 tests (Section V-C).
+
+The paper reports that the 1.0 ambiguities it surfaced were addressed in
+2.0 (``default(none)``, unstructured data lifetimes via ``enter data`` /
+``exit data``, the ``routine`` directive) and that the framework "is robust
+enough to create test cases for 2.0 and future releases".  These templates
+demonstrate that: they only compile on an implementation whose behaviour
+reports spec_version >= 2.0.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suite.builders import check, cross, swap, template_text
+
+
+def templates() -> List[str]:
+    out: List[str] = []
+
+    # enter data: begins an unstructured lifetime
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0; i<n; i++) a[i] = i;
+  {check("#pragma acc enter data copyin(a[0:n])")}
+  #pragma acc parallel loop present(a[0:n])
+  for(i=0; i<n; i++)
+    a[i] = a[i] + 1;
+  #pragma acc exit data copyout(a[0:n])
+  for(i=0; i<n; i++) if (a[i] != i + 1) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_enter_data
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = i
+  end do
+  {check("!$acc enter data copyin(a(1:n))")}
+  !$acc parallel loop present(a(1:n))
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel loop
+  !$acc exit data copyout(a(1:n))
+  do i = 1, n
+    if (a(i) /= i + 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_enter_data
+"""
+    desc = ("enter data opens an unstructured device lifetime; without it "
+            "the downstream present assertion must fail (2.0, Section V-C "
+            "'Data lifetime').")
+    out.append(template_text(
+        name="enter_data.c", feature="enter data", language="c", version="2.0",
+        description=desc, defaults={"N": 30},
+        dependences=["exit data", "parallel loop"], code=c_code))
+    out.append(template_text(
+        name="enter_data.f", feature="enter data", language="fortran",
+        version="2.0", description=desc, defaults={"N": 30},
+        dependences=["exit data", "parallel loop"], code=f_code))
+
+    # exit data: ends the lifetime with a copyout
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0; i<n; i++) a[i] = i;
+  #pragma acc enter data copyin(a[0:n])
+  #pragma acc parallel loop present(a[0:n])
+  for(i=0; i<n; i++)
+    a[i] = a[i] * 3;
+  {check("#pragma acc exit data copyout(a[0:n])")}
+  for(i=0; i<n; i++) if (a[i] != i * 3) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_exit_data
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = i
+  end do
+  !$acc enter data copyin(a(1:n))
+  !$acc parallel loop present(a(1:n))
+  do i = 1, n
+    a(i) = a(i) * 3
+  end do
+  !$acc end parallel loop
+  {check("!$acc exit data copyout(a(1:n))")}
+  do i = 1, n
+    if (a(i) /= i * 3) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_exit_data
+"""
+    desc = ("exit data copyout ends the unstructured lifetime and publishes "
+            "the device values; without it the host keeps the originals.")
+    out.append(template_text(
+        name="exit_data.c", feature="exit data", language="c", version="2.0",
+        description=desc, defaults={"N": 30},
+        dependences=["enter data", "parallel loop"], code=c_code))
+    out.append(template_text(
+        name="exit_data.f", feature="exit data", language="fortran",
+        version="2.0", description=desc, defaults={"N": 30},
+        dependences=["enter data", "parallel loop"], code=f_code))
+
+    # routine: user procedures callable inside compute regions
+    c_code = f"""
+{check("#pragma acc routine")}
+int triple(int x) {{
+  return 3 * x;
+}}
+
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int b[{{{{N}}}}];
+  for(i=0; i<n; i++) b[i] = 0;
+  #pragma acc parallel loop copy(b[0:n])
+  for(i=0; i<n; i++)
+    b[i] = triple(i);
+  for(i=0; i<n; i++) if (b[i] != 3*i) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_routine
+  implicit none
+  integer :: i, err, n
+  integer :: b({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    b(i) = 0
+  end do
+  !$acc parallel loop copy(b(1:n))
+  do i = 1, n
+    b(i) = triple(i)
+  end do
+  !$acc end parallel loop
+  do i = 1, n
+    if (b(i) /= 3*i) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_routine
+
+integer function triple(x)
+  implicit none
+  integer :: x
+  {check("!$acc routine")}
+  triple = 3 * x
+end function triple
+"""
+    desc = ("routine compiles a user procedure for the device so compute "
+            "regions may call it (2.0, Section V-C 'Procedure calls'); "
+            "without the directive the call is a compile-time error.")
+    out.append(template_text(
+        name="routine.c", feature="routine", language="c", version="2.0",
+        description=desc, defaults={"N": 20},
+        dependences=["parallel loop"], code=c_code))
+    out.append(template_text(
+        name="routine.f", feature="routine", language="fortran", version="2.0",
+        description=desc, defaults={"N": 20},
+        dependences=["parallel loop"], code=f_code))
+
+    # default(none): every referenced variable needs an explicit attribute
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int b[{{{{N}}}}];
+  for(i=0; i<n; i++) b[i] = 0;
+  #pragma acc parallel default(none) copy(b[0:n]) {swap("firstprivate(n)", "")}
+  {{
+    #pragma acc loop
+    for(i=0; i<n; i++)
+      b[i] = i + 2;
+  }}
+  for(i=0; i<n; i++) if (b[i] != i + 2) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_default_none
+  implicit none
+  integer :: i, err, n
+  integer :: b({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    b(i) = 0
+  end do
+  !$acc parallel default(none) copy(b(1:n)) {swap("firstprivate(n)", "")}
+  !$acc loop
+  do i = 1, n
+    b(i) = i + 2
+  end do
+  !$acc end parallel
+  do i = 1, n
+    if (b(i) /= i + 2) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_default_none
+"""
+    desc = ("default(none) disables implicit data attributes: with every "
+            "variable explicit the region compiles; dropping one attribute "
+            "(cross) must be rejected at compile time (2.0, Section V-C "
+            "'Default behavior').")
+    out.append(template_text(
+        name="default_none.c", feature="parallel.default_none", language="c",
+        version="2.0", description=desc, defaults={"N": 20},
+        dependences=["parallel.copy", "parallel.firstprivate"], code=c_code))
+    out.append(template_text(
+        name="default_none.f", feature="parallel.default_none",
+        language="fortran", version="2.0", description=desc,
+        defaults={"N": 20},
+        dependences=["parallel.copy", "parallel.firstprivate"], code=f_code))
+    return out

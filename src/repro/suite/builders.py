@@ -1,0 +1,61 @@
+"""Helpers for authoring template text."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+
+def check(text: str) -> str:
+    """Wrap text emitted only in the functional test."""
+    return f"<acctv:check>{text}</acctv:check>"
+
+
+def cross(text: str) -> str:
+    """Wrap text emitted only in the cross test."""
+    return f"<acctv:crosscheck>{text}</acctv:crosscheck>"
+
+
+def swap(functional: str, cross_text: str) -> str:
+    """Substitution cross: functional emits one text, cross the other."""
+    return check(functional) + cross(cross_text)
+
+
+def template_text(
+    *,
+    name: str,
+    feature: str,
+    language: str,
+    code: str,
+    description: str = "",
+    version: str = "1.0",
+    dependences: Iterable[str] = (),
+    defaults: Optional[Dict[str, object]] = None,
+    crossexpect: str = "different",
+    environment: Optional[Dict[str, str]] = None,
+) -> str:
+    """Assemble a full template document."""
+    parts = ["<acctv:test>"]
+    parts.append(f"<acctv:testname>{name}</acctv:testname>")
+    if description:
+        parts.append(
+            f"<acctv:testdescription>{description}</acctv:testdescription>"
+        )
+    parts.append(f"<acctv:directive>{feature}</acctv:directive>")
+    parts.append(f"<acctv:language>{language}</acctv:language>")
+    parts.append(f"<acctv:version>{version}</acctv:version>")
+    deps = ", ".join(dependences)
+    if deps:
+        parts.append(f"<acctv:dependences>{deps}</acctv:dependences>")
+    if defaults:
+        attrs = " ".join(f'{k}="{v}"' for k, v in defaults.items())
+        parts.append(f"<acctv:defaults {attrs}></acctv:defaults>")
+    if crossexpect != "different":
+        parts.append(f"<acctv:crossexpect>{crossexpect}</acctv:crossexpect>")
+    if environment:
+        attrs = " ".join(f'{k}="{v}"' for k, v in environment.items())
+        parts.append(f"<acctv:environment {attrs}></acctv:environment>")
+    parts.append("<acctv:testcode>")
+    parts.append(code.strip("\n"))
+    parts.append("</acctv:testcode>")
+    parts.append("</acctv:test>")
+    return "\n".join(parts)

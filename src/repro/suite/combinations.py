@@ -1,0 +1,651 @@
+"""Feature-combination tests (the paper's stated future work).
+
+"The coverage of tests can be widened by testing several combinations of
+the features.  However as one could imagine, this cannot be a thoroughly
+complete task since there may be several different permutations and
+combinations of features co-existing with one another."  (Section IX)
+
+This module implements a curated pairwise slice of that space: ten designs
+(C and Fortran each) in which two or more features must *interact*
+correctly — multiple async queues with per-tag waits, three-level
+gang/worker/vector nests, nested present_or_copy data regions, reductions
+combined with privatisation / firstprivate / collapse, mixed data clauses
+on one construct, if+async interplay, host_data with mid-region updates,
+and declare with update device.  They live in their own registry
+(``combination_suite``), since each deliberately exercises more than the
+one-feature-per-test rule of the base corpus.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suite.builders import check, cross, swap, template_text
+
+
+def templates() -> List[str]:
+    out: List[str] = []
+    out.extend(_two_async_queues())
+    out.extend(_three_level_nest())
+    out.extend(_nested_pcopy())
+    out.extend(_reduction_with_private())
+    out.extend(_firstprivate_feeds_reduction())
+    out.extend(_mixed_data_clauses())
+    out.extend(_if_with_async())
+    out.extend(_host_data_with_update())
+    out.extend(_collapse_reduction())
+    out.extend(_declare_update_device())
+    return out
+
+
+def _pair(name, feature, c_code, f_code, description, deps=(),
+          crossexpect="different", defaults=None) -> List[str]:
+    defaults = defaults or {"N": 24}
+    return [
+        template_text(name=f"{name}.c", feature=feature, language="c",
+                      description=description, dependences=list(deps),
+                      defaults=defaults, crossexpect=crossexpect,
+                      code=c_code),
+        template_text(name=f"{name}.f", feature=feature, language="fortran",
+                      description=description, dependences=list(deps),
+                      defaults=defaults, crossexpect=crossexpect,
+                      code=f_code),
+    ]
+
+
+# --------------------------------------------------------------------------
+# 1. two async queues, independent per-tag waits
+# --------------------------------------------------------------------------
+
+def _two_async_queues() -> List[str]:
+    c_code = f"""
+int main(){{
+  int i, ok = 1;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}], b[{{{{N}}}}], c[{{{{N}}}}];
+  for(i=0;i<n;i++){{ a[i]=i; b[i]=-1; c[i]=-1; }}
+  #pragma acc data copyin(a[0:n]) copy(b[0:n], c[0:n])
+  {{
+    #pragma acc parallel loop async(1)
+    for(i=0;i<n;i++) b[i] = a[i] + 1;
+    #pragma acc parallel loop async(2)
+    for(i=0;i<n;i++) c[i] = a[i] + 2;
+    #pragma acc wait(1)
+    #pragma acc update host(b[0:n])
+    {check("#pragma acc wait(2)")}
+    #pragma acc update host(c[0:n])
+    for(i=0;i<n;i++){{
+      if (b[i] != a[i] + 1) ok = 0;
+      if (c[i] != a[i] + 2) ok = 0;
+    }}
+  }}
+  return ok;
+}}
+"""
+    f_code = f"""
+program combo_async_queues
+  implicit none
+  integer :: i, ok, n
+  integer :: a({{{{N}}}}), b({{{{N}}}}), c({{{{N}}}})
+  n = {{{{N}}}}
+  ok = 1
+  do i = 1, n
+    a(i) = i
+    b(i) = -1
+    c(i) = -1
+  end do
+  !$acc data copyin(a(1:n)) copy(b(1:n), c(1:n))
+  !$acc parallel loop async(1)
+  do i = 1, n
+    b(i) = a(i) + 1
+  end do
+  !$acc end parallel loop
+  !$acc parallel loop async(2)
+  do i = 1, n
+    c(i) = a(i) + 2
+  end do
+  !$acc end parallel loop
+  !$acc wait(1)
+  !$acc update host(b(1:n))
+  {check("!$acc wait(2)")}
+  !$acc update host(c(1:n))
+  do i = 1, n
+    if (b(i) /= a(i) + 1) ok = 0
+    if (c(i) /= a(i) + 2) ok = 0
+  end do
+  !$acc end data
+  main = ok
+end program combo_async_queues
+"""
+    return _pair(
+        "combo_async_queues", "wait", c_code, f_code,
+        "Two kernels queue on different async tags; each tag is waited and "
+        "fetched independently.  Dropping the second wait leaves that "
+        "queue's results unpublished.",
+        deps=("parallel.async", "update.host", "data.copy"),
+    )
+
+
+# --------------------------------------------------------------------------
+# 2. three-level gang/worker/vector nest
+# --------------------------------------------------------------------------
+
+def _three_level_nest() -> List[str]:
+    c_code = """
+int main(){
+  int g, w, v, bad = 0;
+  int m[2][2][8];
+  for(g=0;g<2;g++) for(w=0;w<2;w++) for(v=0;v<8;v++) m[g][w][v] = 0;
+  #pragma acc parallel num_gangs(2) num_workers(2) vector_length(4) copy(m)
+  {
+    #pragma acc loop """ + swap("gang", "seq") + """
+    for(g=0;g<2;g++){
+      #pragma acc loop worker
+      for(w=0;w<2;w++){
+        #pragma acc loop vector
+        for(v=0;v<8;v++)
+          m[g][w][v] += 1;
+      }
+    }
+  }
+  for(g=0;g<2;g++) for(w=0;w<2;w++) for(v=0;v<8;v++)
+    if (m[g][w][v] != 1) bad++;
+  return (bad == 0);
+}
+"""
+    f_code = """
+program combo_three_level
+  implicit none
+  integer :: g, w, v, bad
+  integer :: m(2, 2, 8)
+  bad = 0
+  do g = 1, 2
+    do w = 1, 2
+      do v = 1, 8
+        m(g, w, v) = 0
+      end do
+    end do
+  end do
+  !$acc parallel num_gangs(2) num_workers(2) vector_length(4) copy(m)
+  !$acc loop """ + swap("gang", "seq") + """
+  do g = 1, 2
+    !$acc loop worker
+    do w = 1, 2
+      !$acc loop vector
+      do v = 1, 8
+        m(g, w, v) = m(g, w, v) + 1
+      end do
+    end do
+  end do
+  !$acc end parallel
+  do g = 1, 2
+    do w = 1, 2
+      do v = 1, 8
+        if (m(g, w, v) /= 1) bad = bad + 1
+      end do
+    end do
+  end do
+  if (bad == 0) main = 1
+end program combo_three_level
+"""
+    return _pair(
+        "combo_three_level_nest", "loop.vector", c_code, f_code,
+        "All three parallelism levels nested (gang over rows, worker over "
+        "columns, vector over lanes) must cover every element exactly once; "
+        "the seq cross on the outer loop makes every gang run the full "
+        "nest redundantly.",
+        deps=("loop.gang", "loop.worker", "parallel.num_workers",
+              "parallel.vector_length"),
+        defaults={"N": 8},
+    )
+
+
+# --------------------------------------------------------------------------
+# 3. nested present_or_copy data regions
+# --------------------------------------------------------------------------
+
+def _nested_pcopy() -> List[str]:
+    c_code = f"""
+int main(){{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0;i<n;i++) a[i] = 10*i;
+  {swap("#pragma acc data pcopy(a[0:n])", "#pragma acc data copyin(a[0:n])")}
+  {{
+    #pragma acc data pcopy(a[0:n])
+    {{
+      #pragma acc parallel loop pcopy(a[0:n])
+      for(i=0;i<n;i++) a[i] = a[i] + 1;
+    }}
+  }}
+  for(i=0;i<n;i++) if (a[i] != 10*i + 1) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program combo_nested_pcopy
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = 10*i
+  end do
+  {swap("!$acc data pcopy(a(1:n))", "!$acc data copyin(a(1:n))")}
+  !$acc data pcopy(a(1:n))
+  !$acc parallel loop pcopy(a(1:n))
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel loop
+  !$acc end data
+  !$acc end data
+  do i = 1, n
+    if (a(i) /= 10*i + 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program combo_nested_pcopy
+"""
+    return _pair(
+        "combo_nested_pcopy", "data.present_or_copy", c_code, f_code,
+        "Three nested present_or_copy levels share one device copy through "
+        "reference counting; only the outermost owner copies out.  The "
+        "cross makes the owner a copyin, so nothing ever writes back.",
+        deps=("parallel loop",),
+    )
+
+
+# --------------------------------------------------------------------------
+# 4. reduction + private on the same loop
+# --------------------------------------------------------------------------
+
+def _reduction_with_private() -> List[str]:
+    c_code = f"""
+int main(){{
+  int i, s = 0, t = -1, expected = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0;i<n;i++){{ a[i] = i + 1; expected += 2 * (i + 1); }}
+  #pragma acc parallel loop {check("reduction(+:s)")} private(t) copyin(a[0:n])
+  for(i=0;i<n;i++){{
+    t = a[i] * 2;
+    s += t;
+  }}
+  return (s == expected) && (t == -1);
+}}
+"""
+    f_code = f"""
+program combo_red_private
+  implicit none
+  integer :: i, s, t, expected, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  s = 0
+  t = -1
+  expected = 0
+  do i = 1, n
+    a(i) = i + 1
+    expected = expected + 2 * (i + 1)
+  end do
+  !$acc parallel loop {check("reduction(+:s)")} private(t) copyin(a(1:n))
+  do i = 1, n
+    t = a(i) * 2
+    s = s + t
+  end do
+  !$acc end parallel loop
+  if (s == expected .and. t == -1) main = 1
+end program combo_red_private
+"""
+    return _pair(
+        "combo_reduction_private", "loop.reduction.int_add", c_code, f_code,
+        "A +-reduction fed through a loop-private scratch variable: the "
+        "reduction must combine across gangs while the private copy never "
+        "escapes.  Removing the reduction leaves the host sum at zero.",
+        deps=("loop.private", "parallel.copyin"),
+    )
+
+
+# --------------------------------------------------------------------------
+# 5. construct firstprivate feeding a gang-loop reduction
+# --------------------------------------------------------------------------
+
+def _firstprivate_feeds_reduction() -> List[str]:
+    c_code = f"""
+int main(){{
+  int i, s = 0, base = 5, expected = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0;i<n;i++){{ a[i] = i; expected += i + 5; }}
+  #pragma acc parallel num_gangs(4) {swap("firstprivate(base)", "private(base)")} copyin(a[0:n])
+  {{
+    #pragma acc loop gang reduction(+:s)
+    for(i=0;i<n;i++)
+      s += a[i] + base;
+  }}
+  return (s == expected);
+}}
+"""
+    f_code = f"""
+program combo_fp_reduction
+  implicit none
+  integer :: i, s, base, expected, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  s = 0
+  base = 5
+  expected = 0
+  do i = 1, n
+    a(i) = i
+    expected = expected + i + 5
+  end do
+  !$acc parallel num_gangs(4) {swap("firstprivate(base)", "private(base)")} copyin(a(1:n))
+  !$acc loop gang reduction(+:s)
+  do i = 1, n
+    s = s + a(i) + base
+  end do
+  !$acc end parallel
+  if (s == expected) main = 1
+end program combo_fp_reduction
+"""
+    return _pair(
+        "combo_firstprivate_reduction", "parallel.firstprivate",
+        c_code, f_code,
+        "Every gang's reduction contribution depends on a firstprivate "
+        "base value; the private substitution zeroes the base on the "
+        "device and the combined sum comes out short.",
+        deps=("loop.gang", "loop.reduction", "parallel.num_gangs"),
+    )
+
+
+# --------------------------------------------------------------------------
+# 6. copyin + copyout + create on one construct
+# --------------------------------------------------------------------------
+
+def _mixed_data_clauses() -> List[str]:
+    c_code = f"""
+int main(){{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}], b[{{{{N}}}}], t[{{{{N}}}}];
+  for(i=0;i<n;i++){{ a[i] = i; b[i] = -1; t[i] = -5; }}
+  #pragma acc parallel copyin(a[0:n]) copyout(b[0:n]) {swap("create(t[0:n])", "copy(t[0:n])")}
+  {{
+    #pragma acc loop
+    for(i=0;i<n;i++) t[i] = a[i] * 3;
+    #pragma acc loop
+    for(i=0;i<n;i++) b[i] = t[i] + 1;
+  }}
+  for(i=0;i<n;i++){{
+    if (b[i] != 3*a[i] + 1) error++;
+    if (t[i] != -5) error++;
+    if (a[i] != i) error++;
+  }}
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program combo_mixed_data
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}}), b({{{{N}}}}), t({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = i
+    b(i) = -1
+    t(i) = -5
+  end do
+  !$acc parallel copyin(a(1:n)) copyout(b(1:n)) {swap("create(t(1:n))", "copy(t(1:n))")}
+  !$acc loop
+  do i = 1, n
+    t(i) = a(i) * 3
+  end do
+  !$acc loop
+  do i = 1, n
+    b(i) = t(i) + 1
+  end do
+  !$acc end parallel
+  do i = 1, n
+    if (b(i) /= 3*a(i) + 1) err = err + 1
+    if (t(i) /= -5) err = err + 1
+    if (a(i) /= i) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program combo_mixed_data
+"""
+    return _pair(
+        "combo_mixed_data_clauses", "parallel.create", c_code, f_code,
+        "All three transfer behaviours on one construct: input copied in, "
+        "result copied out, scratch created device-only.  The copy cross "
+        "clobbers the scratch sentinel on exit.",
+        deps=("parallel.copyin", "parallel.copyout", "loop"),
+    )
+
+
+# --------------------------------------------------------------------------
+# 7. if + async interplay: a host-bound region is synchronous
+# --------------------------------------------------------------------------
+
+def _if_with_async() -> List[str]:
+    c_code = f"""
+int main(){{
+  int i, ok = 1, is_sync = -1;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}], b[{{{{N}}}}];
+  for(i=0;i<n;i++){{ a[i]=i; b[i]=0; }}
+  #pragma acc parallel loop {swap("if (1)", "if (0)")} async(9) copyin(a[0:n]) copy(b[0:n])
+  for(i=0;i<n;i++) b[i] = a[i] * 2;
+  is_sync = acc_async_test(9);
+  if (is_sync != 0) ok = 0;
+  #pragma acc wait(9)
+  for(i=0;i<n;i++) if (b[i] != 2*a[i]) ok = 0;
+  return ok;
+}}
+"""
+    f_code = f"""
+program combo_if_async
+  implicit none
+  integer :: i, ok, is_sync, n
+  integer :: a({{{{N}}}}), b({{{{N}}}})
+  n = {{{{N}}}}
+  ok = 1
+  is_sync = -1
+  do i = 1, n
+    a(i) = i
+    b(i) = 0
+  end do
+  !$acc parallel loop {swap("if (1 == 1)", "if (1 == 0)")} async(9) copyin(a(1:n)) copy(b(1:n))
+  do i = 1, n
+    b(i) = a(i) * 2
+  end do
+  !$acc end parallel loop
+  is_sync = acc_async_test(9)
+  if (is_sync /= 0) ok = 0
+  !$acc wait(9)
+  do i = 1, n
+    if (b(i) /= 2*a(i)) ok = 0
+  end do
+  main = ok
+end program combo_if_async
+"""
+    return _pair(
+        "combo_if_async", "parallel.if", c_code, f_code,
+        "With a true if condition the region queues asynchronously "
+        "(acc_async_test sees pending work); the false cross runs the body "
+        "synchronously on the host, so the probe already reports complete.",
+        deps=("parallel.async", "runtime.acc_async_test", "wait"),
+    )
+
+
+# --------------------------------------------------------------------------
+# 8. host_data + mid-region update host
+# --------------------------------------------------------------------------
+
+def _host_data_with_update() -> List[str]:
+    c_code = f"""
+void bump_on_device(int *p, int n){{
+  int j;
+  #pragma acc parallel deviceptr(p)
+  {{
+    #pragma acc loop
+    for(j=0;j<n;j++) p[j] = p[j] + 100;
+  }}
+}}
+
+int main(){{
+  int i, ok = 1;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0;i<n;i++) a[i] = i;
+  #pragma acc data copyin(a[0:n])
+  {{
+    #pragma acc host_data use_device(a)
+    {{
+      bump_on_device(a, n);
+    }}
+    {check("#pragma acc update host(a[0:n])")}
+    for(i=0;i<n;i++) if (a[i] != i + 100) ok = 0;
+  }}
+  return ok;
+}}
+"""
+    f_code = f"""
+program combo_hostdata_update
+  implicit none
+  integer :: i, ok, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  ok = 1
+  do i = 1, n
+    a(i) = i
+  end do
+  !$acc data copyin(a(1:n))
+  !$acc host_data use_device(a)
+  call bump_on_device(a, n)
+  !$acc end host_data
+  {check("!$acc update host(a(1:n))")}
+  do i = 1, n
+    if (a(i) /= i + 100) ok = 0
+  end do
+  !$acc end data
+  main = ok
+end program combo_hostdata_update
+
+subroutine bump_on_device(p, n)
+  implicit none
+  integer :: n, j
+  integer :: p(n)
+  !$acc parallel deviceptr(p)
+  !$acc loop
+  do j = 1, n
+    p(j) = p(j) + 100
+  end do
+  !$acc end parallel
+end subroutine bump_on_device
+"""
+    return _pair(
+        "combo_hostdata_update", "update.host", c_code, f_code,
+        "A helper writes the device copy through host_data/deviceptr; the "
+        "host only observes it after a mid-region update host.  Removing "
+        "the update leaves the copyin-only host copy stale.",
+        deps=("host_data.use_device", "parallel.deviceptr", "data.copyin"),
+    )
+
+
+# --------------------------------------------------------------------------
+# 9. collapse + reduction on the combined construct
+# --------------------------------------------------------------------------
+
+def _collapse_reduction() -> List[str]:
+    c_code = """
+int main(){
+  int i, j, s = 0, expected;
+  int rows = 6, cols = 7;
+  expected = (rows * cols * (rows * cols - 1)) / 2;
+  #pragma acc parallel loop num_gangs(3) collapse(2) """ + check("reduction(+:s)") + """
+  for(i=0;i<rows;i++)
+    for(j=0;j<cols;j++)
+      s += i * cols + j;
+  return (s == expected);
+}
+"""
+    f_code = """
+program combo_collapse_reduction
+  implicit none
+  integer :: i, j, s, expected, rows, cols
+  rows = 6
+  cols = 7
+  s = 0
+  expected = (rows * cols * (rows * cols - 1)) / 2
+  !$acc parallel loop num_gangs(3) collapse(2) """ + check("reduction(+:s)") + """
+  do i = 0, rows-1
+    do j = 0, cols-1
+      s = s + i * cols + j
+    end do
+  end do
+  !$acc end parallel loop
+  if (s == expected) main = 1
+end program combo_collapse_reduction
+"""
+    return _pair(
+        "combo_collapse_reduction", "loop.collapse", c_code, f_code,
+        "A collapsed 2-level iteration space reduced across gangs: the "
+        "linearised triangular sum must match the closed form; without the "
+        "reduction the host value never moves.",
+        deps=("loop.reduction", "parallel.num_gangs"),
+        defaults={"N": 6},
+    )
+
+
+# --------------------------------------------------------------------------
+# 10. declare device_resident + update device
+# --------------------------------------------------------------------------
+
+def _declare_update_device() -> List[str]:
+    c_code = f"""
+int main(){{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int t[{{{{N}}}}], out[{{{{N}}}}];
+  #pragma acc declare device_resident(t[0:{{{{N}}}}])
+  for(i=0;i<n;i++){{ t[i] = i * 4; out[i] = 0; }}
+  {check("#pragma acc update device(t[0:n])")}
+  #pragma acc parallel loop present(t[0:n]) copy(out[0:n])
+  for(i=0;i<n;i++) out[i] = t[i] + 1;
+  for(i=0;i<n;i++) if (out[i] != 4*i + 1) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program combo_declare_update
+  implicit none
+  integer :: i, err, n
+  integer :: t({{{{N}}}}), out({{{{N}}}})
+  !$acc declare device_resident(t(1:{{{{N}}}}))
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    t(i) = i * 4
+    out(i) = 0
+  end do
+  {check("!$acc update device(t(1:n))")}
+  !$acc parallel loop present(t(1:n)) copy(out(1:n))
+  do i = 1, n
+    out(i) = t(i) + 1
+  end do
+  !$acc end parallel loop
+  do i = 1, n
+    if (out(i) /= 4*i + 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program combo_declare_update
+"""
+    return _pair(
+        "combo_declare_update_device", "update.device", c_code, f_code,
+        "A device-resident array is populated by pushing host values with "
+        "update device; without the push the kernel reads allocation "
+        "garbage.",
+        deps=("declare.device_resident", "parallel.present"),
+    )

@@ -1,0 +1,610 @@
+"""Tests for the parallel and kernels compute constructs (Section IV-A).
+
+Covers the construct bodies themselves plus ``if``, ``async``,
+``num_gangs``, ``num_workers``, ``vector_length``, ``reduction``,
+``private`` and ``firstprivate``.  Data clauses on the compute constructs
+are covered by the shared family builder in :mod:`repro.suite.datacls`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suite.builders import check, cross, swap, template_text
+
+
+def templates() -> List[str]:
+    out: List[str] = []
+    out.extend(_construct_base())
+    out.extend(_if_clause())
+    out.extend(_async_clause())
+    out.extend(_num_gangs())
+    out.extend(_num_workers())
+    out.extend(_vector_length())
+    out.extend(_reduction())
+    out.extend(_private())
+    out.extend(_firstprivate())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# parallel / kernels base: region must execute on the accelerator
+# ---------------------------------------------------------------------------
+
+def _construct_base() -> List[str]:
+    out = []
+    for construct in ("parallel", "kernels"):
+        c_code = f"""
+int main() {{
+  int ondev = 0;
+  {check(f"#pragma acc {construct} copy(ondev)")}
+  {{
+    ondev = acc_on_device(acc_device_not_host);
+  }}
+  return (ondev == 1);
+}}
+"""
+        out.append(template_text(
+            name=f"{construct}.c",
+            feature=construct,
+            language="c",
+            description=f"The {construct} region must execute on the accelerator "
+                        "(observed via acc_on_device); removing the directive "
+                        "leaves host execution, which must change the result.",
+            dependences=[f"{construct}.copy", "runtime.acc_on_device"],
+            code=c_code,
+        ))
+        f_code = f"""
+program test_{construct}
+  implicit none
+  integer :: ondev
+  ondev = 0
+  {check(f"!$acc {construct} copy(ondev)")}
+  ondev = acc_on_device(acc_device_not_host)
+  {check(f"!$acc end {construct}")}
+  if (ondev == 1) main = 1
+end program test_{construct}
+"""
+        out.append(template_text(
+            name=f"{construct}.f",
+            feature=construct,
+            language="fortran",
+            description=f"Fortran variant of the {construct} base test.",
+            dependences=[f"{construct}.copy", "runtime.acc_on_device"],
+            code=f_code,
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# if clause (Fig. 5 design): the host precomputes how many outer iterations
+# run on the device; removing `if` offloads all of them
+# ---------------------------------------------------------------------------
+
+def _if_clause() -> List[str]:
+    out = []
+    for construct in ("parallel", "kernels"):
+        c_code = f"""
+int main() {{
+  int i, m, error = 0, sum, device_iters;
+  int N = {{{{N}}}};
+  int A[{{{{N}}}}], B[{{{{N}}}}], C[{{{{N}}}}];
+  for(i=0; i<N; i++){{ A[i]=i; B[i]=2*i+1; C[i]=0; }}
+  sum = 1; device_iters = 0;
+  for(m=0; m<N; m++){{ if(sum < N) device_iters++; sum += m; }}
+  #pragma acc data copy(C[0:N]) copyin(A[0:N], B[0:N])
+  {{
+    sum = 1;
+    for(m=0; m<N; m++){{
+      #pragma acc {construct} loop {check("if (sum < N)")}
+      for(int j=0; j<N; j++){{
+        C[j] += A[j] + B[j];
+      }}
+      sum += m;
+    }}
+  }}
+  for(i=0; i<N; i++){{
+    if(C[i] != device_iters*(A[i] + B[i]))
+      error++;
+  }}
+  return (error == 0);
+}}
+"""
+        out.append(template_text(
+            name=f"{construct}_if.c",
+            feature=f"{construct}.if",
+            language="c",
+            description="When the if condition is false the region runs on the "
+                        "host and its writes are overwritten by the data-region "
+                        "copyout (Fig. 5); removing the clause offloads every "
+                        "iteration.",
+            dependences=["data.copy", "data.copyin", f"{construct} loop"],
+            defaults={"N": 60},
+            code=c_code,
+        ))
+        f_code = f"""
+program test_if
+  implicit none
+  integer :: i, m, err, s, device_iters, n
+  integer :: a({{{{N}}}}), b({{{{N}}}}), c({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = i
+    b(i) = 2*i + 1
+    c(i) = 0
+  end do
+  s = 1
+  device_iters = 0
+  do m = 0, n-1
+    if (s < n) device_iters = device_iters + 1
+    s = s + m
+  end do
+  !$acc data copy(c(1:n)) copyin(a(1:n), b(1:n))
+  s = 1
+  do m = 0, n-1
+    !$acc {construct} loop {check("if (s < n)")}
+    do i = 1, n
+      c(i) = c(i) + a(i) + b(i)
+    end do
+    !$acc end {construct} loop
+    s = s + m
+  end do
+  !$acc end data
+  do i = 1, n
+    if (c(i) /= device_iters*(a(i) + b(i))) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_if
+"""
+        out.append(template_text(
+            name=f"{construct}_if.f",
+            feature=f"{construct}.if",
+            language="fortran",
+            description="Fortran variant of the if-clause test.",
+            dependences=["data.copy", "data.copyin", f"{construct} loop"],
+            defaults={"N": 60},
+            code=f_code,
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# async clause (Fig. 10 design): acc_async_test must observe incompleteness
+# before the wait and completion after it
+# ---------------------------------------------------------------------------
+
+def _async_clause() -> List[str]:
+    out = []
+    for construct in ("parallel", "kernels"):
+        c_code = f"""
+int main() {{
+  int i, ok = 1, is_sync = -1;
+  int N = {{{{N}}}}, tag = 3;
+  int A[{{{{N}}}}], C[{{{{N}}}}];
+  for(i=0; i<N; i++){{ A[i]=i; C[i]=0; }}
+  #pragma acc {construct} copyin(A[0:N]) copy(C[0:N]) {check("async(tag)")}
+  {{
+    #pragma acc loop
+    for(i=0; i<N; i++)
+      C[i] = A[i] + 1;
+  }}
+  is_sync = acc_async_test(tag);
+  if (is_sync != 0) ok = 0;
+  #pragma acc wait(tag)
+  is_sync = acc_async_test(tag);
+  if (is_sync == 0) ok = 0;
+  for(i=0; i<N; i++) if (C[i] != A[i] + 1) ok = 0;
+  return ok;
+}}
+"""
+        out.append(template_text(
+            name=f"{construct}_async.c",
+            feature=f"{construct}.async",
+            language="c",
+            description="Asynchronous region: acc_async_test returns 0 before "
+                        "the wait and nonzero after (Fig. 10); without async "
+                        "the first test already sees completion.",
+            dependences=["runtime.acc_async_test", "wait", "loop"],
+            defaults={"N": 50},
+            code=c_code,
+        ))
+        f_code = f"""
+program test_async
+  implicit none
+  integer :: i, ok, is_sync, n, tag
+  integer :: a({{{{N}}}}), c({{{{N}}}})
+  n = {{{{N}}}}
+  tag = 3
+  ok = 1
+  is_sync = -1
+  do i = 1, n
+    a(i) = i
+    c(i) = 0
+  end do
+  !$acc {construct} copyin(a(1:n)) copy(c(1:n)) {check("async(tag)")}
+  !$acc loop
+  do i = 1, n
+    c(i) = a(i) + 1
+  end do
+  !$acc end {construct}
+  is_sync = acc_async_test(tag)
+  if (is_sync /= 0) ok = 0
+  !$acc wait(tag)
+  is_sync = acc_async_test(tag)
+  if (is_sync == 0) ok = 0
+  do i = 1, n
+    if (c(i) /= a(i) + 1) ok = 0
+  end do
+  main = ok
+end program test_async
+"""
+        out.append(template_text(
+            name=f"{construct}_async.f",
+            feature=f"{construct}.async",
+            language="fortran",
+            description="Fortran variant of the async test.",
+            dependences=["runtime.acc_async_test", "wait", "loop"],
+            defaults={"N": 50},
+            code=f_code,
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# num_gangs (Fig. 9): a gang-count reduction must equal the requested count
+# ---------------------------------------------------------------------------
+
+def _num_gangs() -> List[str]:
+    c_code = f"""
+int main() {{
+  int gang_num = 0;
+  int known_gang_num = {{{{G}}}};
+  #pragma acc parallel {check("num_gangs({{G}})")} reduction(+:gang_num)
+  {{
+    gang_num++;
+  }}
+  return (gang_num == known_gang_num);
+}}
+"""
+    f_code = f"""
+program test_num_gangs
+  implicit none
+  integer :: gang_num, known
+  gang_num = 0
+  known = {{{{G}}}}
+  !$acc parallel {check("num_gangs({{G}})")} reduction(+:gang_num)
+  gang_num = gang_num + 1
+  !$acc end parallel
+  if (gang_num == known) main = 1
+end program test_num_gangs
+"""
+    deps = ["parallel.reduction"]
+    desc = ("Every gang increments a reduction counter; the combined value "
+            "must equal the requested gang count (Fig. 9).  Removing the "
+            "clause leaves the implementation-default gang count.")
+    return [
+        template_text(name="parallel_num_gangs.c", feature="parallel.num_gangs",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"G": 8}, code=c_code),
+        template_text(name="parallel_num_gangs.f", feature="parallel.num_gangs",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"G": 8}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# num_workers (Fig. 4): gang loop over rows, worker loop reduction per gang.
+# A conforming implementation produces the same values for any worker count,
+# so the cross expectation is `same` (scheduling-only clause).
+# ---------------------------------------------------------------------------
+
+def _num_workers() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, j, error = 0;
+  int gangs = {{{{G}}}}, workers_load = {{{{L}}}};
+  int gangs_red[{{{{G}}}}];
+  for(i=0; i<gangs; i++)
+    gangs_red[i] = 0;
+  #pragma acc parallel copy(gangs_red[0:gangs]) num_gangs({{{{G}}}}) {check("num_workers({{W}})")}
+  {{
+    #pragma acc loop gang
+    for(i=0; i<gangs; i++){{
+      int to_reduct = 0;
+      #pragma acc loop worker reduction(+:to_reduct)
+      for(j=0; j<workers_load; j++)
+        to_reduct++;
+      gangs_red[i] = to_reduct;
+    }}
+  }}
+  for(i=0; i<gangs; i++){{
+    if(gangs_red[i] != workers_load)
+      error++;
+  }}
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_num_workers
+  implicit none
+  integer :: i, j, err, gangs, workers_load, to_reduct
+  integer :: gangs_red({{{{G}}}})
+  gangs = {{{{G}}}}
+  workers_load = {{{{L}}}}
+  err = 0
+  do i = 1, gangs
+    gangs_red(i) = 0
+  end do
+  !$acc parallel copy(gangs_red(1:gangs)) num_gangs({{{{G}}}}) {check("num_workers({{W}})")}
+  !$acc loop gang private(to_reduct)
+  do i = 1, gangs
+    to_reduct = 0
+    !$acc loop worker reduction(+:to_reduct)
+    do j = 1, workers_load
+      to_reduct = to_reduct + 1
+    end do
+    gangs_red(i) = to_reduct
+  end do
+  !$acc end parallel
+  do i = 1, gangs
+    if (gangs_red(i) /= workers_load) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_num_workers
+"""
+    deps = ["parallel.num_gangs", "loop.gang", "loop.worker", "loop.reduction"]
+    desc = ("Two-level nested loop: outer on gangs, inner reduction on the "
+            "workers of one gang (Fig. 4).  The worker count must not change "
+            "the reduction value, so the cross run legitimately matches.")
+    return [
+        template_text(name="parallel_num_workers.c", feature="parallel.num_workers",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"G": 4, "W": 4, "L": 64}, crossexpect="same",
+                      code=c_code),
+        template_text(name="parallel_num_workers.f", feature="parallel.num_workers",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"G": 4, "W": 4, "L": 64}, crossexpect="same",
+                      code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# vector_length: vector analogue of the num_workers design
+# ---------------------------------------------------------------------------
+
+def _vector_length() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, j, error = 0;
+  int gangs = {{{{G}}}}, lanes_load = {{{{L}}}};
+  int gangs_red[{{{{G}}}}];
+  for(i=0; i<gangs; i++)
+    gangs_red[i] = 0;
+  #pragma acc parallel copy(gangs_red[0:gangs]) num_gangs({{{{G}}}}) {check("vector_length({{V}})")}
+  {{
+    #pragma acc loop gang
+    for(i=0; i<gangs; i++){{
+      int to_reduct = 0;
+      #pragma acc loop vector reduction(+:to_reduct)
+      for(j=0; j<lanes_load; j++)
+        to_reduct++;
+      gangs_red[i] = to_reduct;
+    }}
+  }}
+  for(i=0; i<gangs; i++){{
+    if(gangs_red[i] != lanes_load)
+      error++;
+  }}
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_vector_length
+  implicit none
+  integer :: i, j, err, gangs, lanes_load, to_reduct
+  integer :: gangs_red({{{{G}}}})
+  gangs = {{{{G}}}}
+  lanes_load = {{{{L}}}}
+  err = 0
+  do i = 1, gangs
+    gangs_red(i) = 0
+  end do
+  !$acc parallel copy(gangs_red(1:gangs)) num_gangs({{{{G}}}}) {check("vector_length({{V}})")}
+  !$acc loop gang private(to_reduct)
+  do i = 1, gangs
+    to_reduct = 0
+    !$acc loop vector reduction(+:to_reduct)
+    do j = 1, lanes_load
+      to_reduct = to_reduct + 1
+    end do
+    gangs_red(i) = to_reduct
+  end do
+  !$acc end parallel
+  do i = 1, gangs
+    if (gangs_red(i) /= lanes_load) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_vector_length
+"""
+    deps = ["parallel.num_gangs", "loop.gang", "loop.vector", "loop.reduction"]
+    desc = ("Vector-level reduction inside a gang loop; the vector length is "
+            "a scheduling knob that must not change the values (cross "
+            "expectation `same`).")
+    return [
+        template_text(name="parallel_vector_length.c",
+                      feature="parallel.vector_length", language="c",
+                      description=desc, dependences=deps,
+                      defaults={"G": 4, "V": 8, "L": 64}, crossexpect="same",
+                      code=c_code),
+        template_text(name="parallel_vector_length.f",
+                      feature="parallel.vector_length", language="fortran",
+                      description=desc, dependences=deps,
+                      defaults={"G": 4, "V": 8, "L": 64}, crossexpect="same",
+                      code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# parallel reduction: gang-redundant increments combine across gangs; the
+# cross run drops the clause, leaving the host value untouched
+# ---------------------------------------------------------------------------
+
+def _reduction() -> List[str]:
+    c_code = f"""
+int main() {{
+  int red = 5;
+  int expected = 5 + 3 * {{{{G}}}};
+  #pragma acc parallel num_gangs({{{{G}}}}) {check("reduction(+:red)")}
+  {{
+    red = red + 3;
+  }}
+  return (red == expected);
+}}
+"""
+    f_code = f"""
+program test_parallel_reduction
+  implicit none
+  integer :: red, expected
+  red = 5
+  expected = 5 + 3 * {{{{G}}}}
+  !$acc parallel num_gangs({{{{G}}}}) {check("reduction(+:red)")}
+  red = red + 3
+  !$acc end parallel
+  if (red == expected) main = 1
+end program test_parallel_reduction
+"""
+    deps = ["parallel.num_gangs"]
+    desc = ("Each gang contributes 3 to a +-reduction initialised to 5; the "
+            "result must be 5 + 3*num_gangs.  Without the clause the scalar "
+            "is gang-firstprivate and the host value never changes.")
+    return [
+        template_text(name="parallel_reduction.c", feature="parallel.reduction",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"G": 8}, code=c_code),
+        template_text(name="parallel_reduction.f", feature="parallel.reduction",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"G": 8}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# parallel private: each gang gets its own copy (per Section IV-A2 a
+# conforming implementation is also correct without the clause, so `same`)
+# ---------------------------------------------------------------------------
+
+def _private() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, t = -1, error = 0;
+  int b[{{{{G}}}}];
+  for(i=0; i<{{{{G}}}}; i++) b[i] = 0;
+  #pragma acc parallel num_gangs({{{{G}}}}) copy(b[0:{{{{G}}}}]) {check("private(t)")}
+  {{
+    #pragma acc loop gang
+    for(i=0; i<{{{{G}}}}; i++){{
+      t = 2*i;
+      b[i] = t + 1;
+    }}
+  }}
+  for(i=0; i<{{{{G}}}}; i++) if (b[i] != 2*i + 1) error++;
+  if (t != -1) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_parallel_private
+  implicit none
+  integer :: i, t, err
+  integer :: b({{{{G}}}})
+  t = -1
+  err = 0
+  do i = 1, {{{{G}}}}
+    b(i) = 0
+  end do
+  !$acc parallel num_gangs({{{{G}}}}) copy(b(1:{{{{G}}}})) {check("private(t)")}
+  !$acc loop gang
+  do i = 1, {{{{G}}}}
+    t = 2*i
+    b(i) = t + 1
+  end do
+  !$acc end parallel
+  do i = 1, {{{{G}}}}
+    if (b(i) /= 2*i + 1) err = err + 1
+  end do
+  if (t /= -1) err = err + 1
+  if (err == 0) main = 1
+end program test_parallel_private
+"""
+    deps = ["parallel.num_gangs", "parallel.copy", "loop.gang"]
+    desc = ("Gang-private scratch variable feeding per-row writes; the host "
+            "copy must remain untouched.  Implicit firstprivate gives the "
+            "same observable behaviour, so the cross expectation is `same`.")
+    return [
+        template_text(name="parallel_private.c", feature="parallel.private",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"G": 8}, crossexpect="same", code=c_code),
+        template_text(name="parallel_private.f", feature="parallel.private",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"G": 8}, crossexpect="same", code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# parallel firstprivate: initialised from the host value; the cross run
+# substitutes `private`, losing the initialisation (Section III)
+# ---------------------------------------------------------------------------
+
+def _firstprivate() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, t = 7, error = 0;
+  int b[{{{{G}}}}];
+  for(i=0; i<{{{{G}}}}; i++) b[i] = 0;
+  #pragma acc parallel num_gangs({{{{G}}}}) copy(b[0:{{{{G}}}}]) {swap("firstprivate(t)", "private(t)")}
+  {{
+    #pragma acc loop gang
+    for(i=0; i<{{{{G}}}}; i++){{
+      b[i] = t + i;
+    }}
+  }}
+  for(i=0; i<{{{{G}}}}; i++) if (b[i] != 7 + i) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_parallel_firstprivate
+  implicit none
+  integer :: i, t, err
+  integer :: b({{{{G}}}})
+  t = 7
+  err = 0
+  do i = 1, {{{{G}}}}
+    b(i) = 0
+  end do
+  !$acc parallel num_gangs({{{{G}}}}) copy(b(1:{{{{G}}}})) {swap("firstprivate(t)", "private(t)")}
+  !$acc loop gang
+  do i = 1, {{{{G}}}}
+    b(i) = t + i - 1
+  end do
+  !$acc end parallel
+  do i = 1, {{{{G}}}}
+    if (b(i) /= 7 + i - 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_parallel_firstprivate
+"""
+    deps = ["parallel.num_gangs", "parallel.copy", "loop.gang"]
+    desc = ("firstprivate copies must start from the host value (7); the "
+            "cross test substitutes private, whose copies are uninitialised, "
+            "exactly the substitution methodology of Section III.")
+    return [
+        template_text(name="parallel_firstprivate.c",
+                      feature="parallel.firstprivate", language="c",
+                      description=desc, dependences=deps, defaults={"G": 8},
+                      code=c_code),
+        template_text(name="parallel_firstprivate.f",
+                      feature="parallel.firstprivate", language="fortran",
+                      description=desc, dependences=deps, defaults={"G": 8},
+                      code=f_code),
+    ]

@@ -1,0 +1,594 @@
+"""Data-clause tests across the parallel, kernels and data constructs
+(Section IV-B: "we need to write test cases for all possible combinations").
+
+One parametric builder per clause emits the C and Fortran templates for all
+three host constructs.  Cross tests follow the paper's substitution
+methodology: ``copy`` is crossed with ``create`` (no copyout), ``copyin``
+with ``copy`` (the destroyed device values leak back), ``copyout`` with
+``create``, ``create`` with ``copy`` (the sentinel is clobbered), and
+``present`` by deleting the enclosing data region (the present lookup must
+then fail).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.suite.builders import check, cross, swap, template_text
+
+CONSTRUCTS = ("parallel", "kernels", "data")
+
+
+def templates() -> List[str]:
+    out: List[str] = []
+    for construct in CONSTRUCTS:
+        out.extend(_copy(construct))
+        out.extend(_copyin(construct))
+        out.extend(_copyout(construct))
+        out.extend(_create(construct))
+        out.extend(_present(construct))
+        out.extend(_pcopy(construct))
+        out.extend(_pcopyin(construct))
+        out.extend(_pcopyout(construct))
+        out.extend(_pcreate(construct))
+        out.extend(_deviceptr(construct))
+    out.extend(_data_if())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# wrappers: how a computation is phrased under each construct
+# ---------------------------------------------------------------------------
+
+def _c_region(construct: str, clause_text: str, *loops: str) -> str:
+    """Emit the construct carrying `clause_text`, running the loop bodies.
+
+    Each element of `loops` is the body of one j-loop over [0, N).
+    """
+    if construct == "data":
+        inner = "\n".join(
+            "  #pragma acc parallel loop\n"
+            "  for(j=0; j<N; j++){\n"
+            f"    {body}\n"
+            "  }"
+            for body in loops
+        )
+        return f"#pragma acc data {clause_text}\n  {{\n{inner}\n  }}"
+    inner = "\n".join(
+        "  #pragma acc loop\n"
+        "  for(j=0; j<N; j++){\n"
+        f"    {body}\n"
+        "  }"
+        for body in loops
+    )
+    return f"#pragma acc {construct} {clause_text}\n  {{\n{inner}\n  }}"
+
+
+def _f_region(construct: str, clause_text: str, *loops: str) -> str:
+    if construct == "data":
+        inner = "\n".join(
+            "!$acc parallel loop\n"
+            "do j = 1, n\n"
+            f"  {body}\n"
+            "end do\n"
+            "!$acc end parallel loop"
+            for body in loops
+        )
+        return f"!$acc data {clause_text}\n{inner}\n!$acc end data"
+    inner = "\n".join(
+        "!$acc loop\n"
+        "do j = 1, n\n"
+        f"  {body}\n"
+        "end do"
+        for body in loops
+    )
+    return f"!$acc {construct} {clause_text}\n{inner}\n!$acc end {construct}"
+
+
+def _pair(
+    construct: str,
+    clause: str,
+    c_code: str,
+    f_code: str,
+    description: str,
+    crossexpect: str = "different",
+    extra_deps: Tuple[str, ...] = (),
+) -> List[str]:
+    deps = list(extra_deps)
+    deps.append("parallel loop" if construct == "data" else "loop")
+    feature = f"{construct}.{clause}"
+    short = construct.replace(" ", "_")
+    return [
+        template_text(
+            name=f"{short}_{clause}.c", feature=feature, language="c",
+            description=description, dependences=deps, defaults={"N": 50},
+            crossexpect=crossexpect, code=c_code,
+        ),
+        template_text(
+            name=f"{short}_{clause}.f", feature=feature, language="fortran",
+            description=description, dependences=deps, defaults={"N": 50},
+            crossexpect=crossexpect, code=f_code,
+        ),
+    ]
+
+
+def _c_main(decls: str, setup: str, region: str, checks: str) -> str:
+    return f"""
+int main() {{
+  int i, j, error = 0;
+  int N = {{{{N}}}};
+{decls}
+{setup}
+  {region}
+{checks}
+  return (error == 0);
+}}
+"""
+
+
+def _f_main(name: str, decls: str, setup: str, region: str, checks: str) -> str:
+    return f"""
+program {name}
+  implicit none
+  integer :: i, j, err, n
+{decls}
+  n = {{{{N}}}}
+  err = 0
+{setup}
+{region}
+{checks}
+  if (err == 0) main = 1
+end program {name}
+"""
+
+
+# ---------------------------------------------------------------------------
+# copy: in at entry, out at exit (Fig. 6); crossed with create
+# ---------------------------------------------------------------------------
+
+def _copy(construct: str) -> List[str]:
+    clause = swap("copy(C[0:N])", "create(C[0:N])") + " copyin(A[0:N], B[0:N])"
+    region = _c_region(construct, clause, "C[j] = A[j] + B[j] + 1;")
+    c_code = _c_main(
+        "  int A[{{N}}], B[{{N}}], C[{{N}}];",
+        "  for(i=0; i<N; i++){ A[i]=i; B[i]=2*i; C[i]=-1; }",
+        region,
+        "  for(i=0; i<N; i++) if(C[i] != A[i] + B[i] + 1) error++;",
+    )
+    fclause = swap("copy(c(1:n))", "create(c(1:n))") + " copyin(a(1:n), b(1:n))"
+    fregion = _f_region(construct, fclause, "c(j) = a(j) + b(j) + 1")
+    f_code = _f_main(
+        "test_copy",
+        "  integer :: a({{N}}), b({{N}}), c({{N}})",
+        "  do i = 1, n\n    a(i) = i\n    b(i) = 2*i\n    c(i) = -1\n  end do",
+        fregion,
+        "  do i = 1, n\n    if (c(i) /= a(i) + b(i) + 1) err = err + 1\n  end do",
+    )
+    return _pair(
+        construct, "copy", c_code, f_code,
+        "copy must move data in at entry and out at exit; the cross run "
+        "substitutes create, so the host array keeps its initial values.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# copyin: device may clobber its copy, host values stay (Section IV-B2)
+# ---------------------------------------------------------------------------
+
+def _copyin(construct: str) -> List[str]:
+    clause = swap("copyin(A[0:N])", "copy(A[0:N])") + " copy(C[0:N])"
+    region = _c_region(construct, clause, "C[j] = A[j] + 1;", "A[j] = 0;")
+    c_code = _c_main(
+        "  int A[{{N}}], C[{{N}}];",
+        "  for(i=0; i<N; i++){ A[i]=i+1; C[i]=0; }",
+        region,
+        "  for(i=0; i<N; i++){\n"
+        "    if(C[i] != A[i] + 1) error++;\n"
+        "    if(A[i] != i+1) error++;\n"
+        "  }",
+    )
+    fclause = swap("copyin(a(1:n))", "copy(a(1:n))") + " copy(c(1:n))"
+    fregion = _f_region(construct, fclause, "c(j) = a(j) + 1", "a(j) = 0")
+    f_code = _f_main(
+        "test_copyin",
+        "  integer :: a({{N}}), c({{N}})",
+        "  do i = 1, n\n    a(i) = i + 1\n    c(i) = 0\n  end do",
+        fregion,
+        "  do i = 1, n\n"
+        "    if (c(i) /= a(i) + 1) err = err + 1\n"
+        "    if (a(i) /= i + 1) err = err + 1\n"
+        "  end do",
+    )
+    return _pair(
+        construct, "copyin", c_code, f_code,
+        "The device destroys its copy of the input array; the host values "
+        "must survive.  Crossing with copy leaks the destroyed values back.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# copyout: device-assigned values must reach the host; crossed with create
+# ---------------------------------------------------------------------------
+
+def _copyout(construct: str) -> List[str]:
+    clause = swap("copyout(B[0:N])", "create(B[0:N])")
+    region = _c_region(construct, clause, "B[j] = 3*j + 2;")
+    c_code = _c_main(
+        "  int B[{{N}}];",
+        "  for(i=0; i<N; i++) B[i] = -1;",
+        region,
+        "  for(i=0; i<N; i++) if(B[i] != 3*i + 2) error++;",
+    )
+    fclause = swap("copyout(b(1:n))", "create(b(1:n))")
+    fregion = _f_region(construct, fclause, "b(j) = 3*j + 2")
+    f_code = _f_main(
+        "test_copyout",
+        "  integer :: b({{N}})",
+        "  do i = 1, n\n    b(i) = -1\n  end do",
+        fregion,
+        "  do i = 1, n\n    if (b(i) /= 3*i + 2) err = err + 1\n  end do",
+    )
+    return _pair(
+        construct, "copyout", c_code, f_code,
+        "Values assigned on the device must be transferred out at exit; the "
+        "create cross leaves the host initial values in place.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# create: device-only scratch; the host sentinel must survive (IV-B4)
+# ---------------------------------------------------------------------------
+
+def _create(construct: str) -> List[str]:
+    clause = (
+        swap("create(T[0:N])", "copy(T[0:N])")
+        + " copyin(A[0:N]) copy(C[0:N])"
+    )
+    region = _c_region(construct, clause, "T[j] = A[j] + 1;", "C[j] = T[j] * 2;")
+    c_code = _c_main(
+        "  int A[{{N}}], T[{{N}}], C[{{N}}];",
+        "  for(i=0; i<N; i++){ A[i]=i; T[i]=-5; C[i]=0; }",
+        region,
+        "  for(i=0; i<N; i++){\n"
+        "    if(C[i] != (A[i] + 1) * 2) error++;\n"
+        "    if(T[i] != -5) error++;\n"
+        "  }",
+    )
+    fclause = (
+        swap("create(t(1:n))", "copy(t(1:n))")
+        + " copyin(a(1:n)) copy(c(1:n))"
+    )
+    fregion = _f_region(construct, fclause, "t(j) = a(j) + 1", "c(j) = t(j) * 2")
+    f_code = _f_main(
+        "test_create",
+        "  integer :: a({{N}}), t({{N}}), c({{N}})",
+        "  do i = 1, n\n    a(i) = i\n    t(i) = -5\n    c(i) = 0\n  end do",
+        fregion,
+        "  do i = 1, n\n"
+        "    if (c(i) /= (a(i) + 1) * 2) err = err + 1\n"
+        "    if (t(i) /= -5) err = err + 1\n"
+        "  end do",
+    )
+    return _pair(
+        construct, "create", c_code, f_code,
+        "create allocates device-only scratch: the data is neither copied in "
+        "nor out, so the host sentinel (-5) must survive; crossing with copy "
+        "clobbers it.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# present: data must already be on the device via an enclosing region;
+# removing that region must make the present lookup fail (a runtime error)
+# ---------------------------------------------------------------------------
+
+def _present(construct: str) -> List[str]:
+    if construct == "data":
+        inner = _c_region("data", "present(A[0:N]) copy(C[0:N])",
+                          "C[j] = A[j] + 1;")
+    else:
+        inner = _c_region(construct, "present(A[0:N]) copy(C[0:N])",
+                          "C[j] = A[j] + 1;")
+    region = (
+        check("#pragma acc data copyin(A[0:N])")
+        + "\n  {\n  "
+        + inner
+        + "\n  }"
+    )
+    c_code = _c_main(
+        "  int A[{{N}}], C[{{N}}];",
+        "  for(i=0; i<N; i++){ A[i]=4*i; C[i]=0; }",
+        region,
+        "  for(i=0; i<N; i++) if(C[i] != A[i] + 1) error++;",
+    )
+    if construct == "data":
+        finner = _f_region("data", "present(a(1:n)) copy(c(1:n))",
+                           "c(j) = a(j) + 1")
+    else:
+        finner = _f_region(construct, "present(a(1:n)) copy(c(1:n))",
+                           "c(j) = a(j) + 1")
+    fregion = (
+        check("!$acc data copyin(a(1:n))")
+        + "\n"
+        + finner
+        + "\n"
+        + check("!$acc end data")
+    )
+    f_code = _f_main(
+        "test_present",
+        "  integer :: a({{N}}), c({{N}})",
+        "  do i = 1, n\n    a(i) = 4*i\n    c(i) = 0\n  end do",
+        fregion,
+        "  do i = 1, n\n    if (c(i) /= a(i) + 1) err = err + 1\n  end do",
+    )
+    return _pair(
+        construct, "present", c_code, f_code,
+        "present asserts the data is already on the device; the cross run "
+        "removes the enclosing copyin region, so a conforming implementation "
+        "must fail the presence check at runtime.",
+        extra_deps=("data.copyin",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# present_or_* family (pcopy/pcopyin/pcopyout/pcreate)
+# ---------------------------------------------------------------------------
+
+def _pcopy(construct: str) -> List[str]:
+    clause = swap("pcopy(C[0:N])", "create(C[0:N])") + " copyin(A[0:N])"
+    region = _c_region(construct, clause, "C[j] = A[j] + 2;")
+    c_code = _c_main(
+        "  int A[{{N}}], C[{{N}}];",
+        "  for(i=0; i<N; i++){ A[i]=i; C[i]=0; }",
+        region,
+        "  for(i=0; i<N; i++) if(C[i] != A[i] + 2) error++;",
+    )
+    fclause = swap("pcopy(c(1:n))", "create(c(1:n))") + " copyin(a(1:n))"
+    fregion = _f_region(construct, fclause, "c(j) = a(j) + 2")
+    f_code = _f_main(
+        "test_pcopy",
+        "  integer :: a({{N}}), c({{N}})",
+        "  do i = 1, n\n    a(i) = i\n    c(i) = 0\n  end do",
+        fregion,
+        "  do i = 1, n\n    if (c(i) /= a(i) + 2) err = err + 1\n  end do",
+    )
+    return _pair(
+        construct, "present_or_copy", c_code, f_code,
+        "pcopy on absent data behaves like copy (in and out); crossing with "
+        "create suppresses both transfers.",
+    )
+
+
+def _pcopyin(construct: str) -> List[str]:
+    clause = swap("pcopyin(A[0:N])", "pcopy(A[0:N])") + " copy(C[0:N])"
+    region = _c_region(construct, clause, "C[j] = A[j] * 2;", "A[j] = -9;")
+    c_code = _c_main(
+        "  int A[{{N}}], C[{{N}}];",
+        "  for(i=0; i<N; i++){ A[i]=i+3; C[i]=0; }",
+        region,
+        "  for(i=0; i<N; i++){\n"
+        "    if(C[i] != (i+3) * 2) error++;\n"
+        "    if(A[i] != i+3) error++;\n"
+        "  }",
+    )
+    fclause = swap("pcopyin(a(1:n))", "pcopy(a(1:n))") + " copy(c(1:n))"
+    fregion = _f_region(construct, fclause, "c(j) = a(j) * 2", "a(j) = -9")
+    f_code = _f_main(
+        "test_pcopyin",
+        "  integer :: a({{N}}), c({{N}})",
+        "  do i = 1, n\n    a(i) = i + 3\n    c(i) = 0\n  end do",
+        fregion,
+        "  do i = 1, n\n"
+        "    if (c(i) /= (i + 3) * 2) err = err + 1\n"
+        "    if (a(i) /= i + 3) err = err + 1\n"
+        "  end do",
+    )
+    return _pair(
+        construct, "present_or_copyin", c_code, f_code,
+        "pcopyin on absent data copies in but never out; the pcopy cross "
+        "leaks the destroyed device values back to the host.",
+    )
+
+
+def _pcopyout(construct: str) -> List[str]:
+    clause = swap("pcopyout(B[0:N])", "pcreate(B[0:N])")
+    region = _c_region(construct, clause, "B[j] = 7*j + 1;")
+    c_code = _c_main(
+        "  int B[{{N}}];",
+        "  for(i=0; i<N; i++) B[i] = -1;",
+        region,
+        "  for(i=0; i<N; i++) if(B[i] != 7*i + 1) error++;",
+    )
+    fclause = swap("pcopyout(b(1:n))", "pcreate(b(1:n))")
+    fregion = _f_region(construct, fclause, "b(j) = 7*j + 1")
+    f_code = _f_main(
+        "test_pcopyout",
+        "  integer :: b({{N}})",
+        "  do i = 1, n\n    b(i) = -1\n  end do",
+        fregion,
+        "  do i = 1, n\n    if (b(i) /= 7*i + 1) err = err + 1\n  end do",
+    )
+    return _pair(
+        construct, "present_or_copyout", c_code, f_code,
+        "pcopyout on absent data allocates and copies out at exit; the "
+        "pcreate cross never transfers.",
+    )
+
+
+def _pcreate(construct: str) -> List[str]:
+    clause = (
+        swap("pcreate(T[0:N])", "pcopy(T[0:N])")
+        + " copyin(A[0:N]) copy(C[0:N])"
+    )
+    region = _c_region(construct, clause, "T[j] = A[j] + 4;", "C[j] = T[j];")
+    c_code = _c_main(
+        "  int A[{{N}}], T[{{N}}], C[{{N}}];",
+        "  for(i=0; i<N; i++){ A[i]=2*i; T[i]=-7; C[i]=0; }",
+        region,
+        "  for(i=0; i<N; i++){\n"
+        "    if(C[i] != A[i] + 4) error++;\n"
+        "    if(T[i] != -7) error++;\n"
+        "  }",
+    )
+    fclause = (
+        swap("pcreate(t(1:n))", "pcopy(t(1:n))")
+        + " copyin(a(1:n)) copy(c(1:n))"
+    )
+    fregion = _f_region(construct, fclause, "t(j) = a(j) + 4", "c(j) = t(j)")
+    f_code = _f_main(
+        "test_pcreate",
+        "  integer :: a({{N}}), t({{N}}), c({{N}})",
+        "  do i = 1, n\n    a(i) = 2*i\n    t(i) = -7\n    c(i) = 0\n  end do",
+        fregion,
+        "  do i = 1, n\n"
+        "    if (c(i) /= a(i) + 4) err = err + 1\n"
+        "    if (t(i) /= -7) err = err + 1\n"
+        "  end do",
+    )
+    return _pair(
+        construct, "present_or_create", c_code, f_code,
+        "pcreate on absent data allocates without transfers; the pcopy cross "
+        "clobbers the host sentinel at exit.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# deviceptr: raw device allocations from acc_malloc (Section IV-B5).
+# On a conforming implementation removing the clause may still bind the
+# pointer, so the cross expectation is `same`.
+# ---------------------------------------------------------------------------
+
+def _deviceptr(construct: str) -> List[str]:
+    if construct == "data":
+        region = (
+            "#pragma acc data deviceptr(d)\n  {\n"
+            "  #pragma acc parallel deviceptr(d) copy(out[0:N])\n  {\n"
+            "    #pragma acc loop\n"
+            "    for(j=0; j<N; j++){\n"
+            "      d[j] = 3*j;\n"
+            "      out[j] = d[j] + 1;\n"
+            "    }\n"
+            "  }\n  }"
+        )
+    else:
+        region = _c_region(
+            construct, "deviceptr(d) copy(out[0:N])",
+            "d[j] = 3*j; out[j] = d[j] + 1;",
+        )
+    c_code = f"""
+int main() {{
+  int i, j, error = 0;
+  int N = {{{{N}}}};
+  int out[{{{{N}}}}];
+  int *d;
+  for(i=0; i<N; i++) out[i] = -1;
+  d = (int*)acc_malloc(N*sizeof(int));
+  {region}
+  acc_free(d);
+  for(i=0; i<N; i++) if(out[i] != 3*i + 1) error++;
+  return (error == 0);
+}}
+"""
+    if construct == "data":
+        fregion = (
+            "!$acc data deviceptr(d)\n"
+            "!$acc parallel deviceptr(d) copy(out(1:n))\n"
+            "!$acc loop\n"
+            "do j = 1, n\n"
+            "  d(j) = 3*j\n"
+            "  out(j) = d(j) + 1\n"
+            "end do\n"
+            "!$acc end parallel\n"
+            "!$acc end data"
+        )
+    else:
+        fregion = _f_region(
+            construct, "deviceptr(d) copy(out(1:n))",
+            "d(j) = 3*j\n  out(j) = d(j) + 1",
+        )
+    f_code = f"""
+program test_deviceptr
+  implicit none
+  integer :: i, j, err, n
+  integer :: out({{{{N}}}})
+  integer :: d(1)
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    out(i) = -1
+  end do
+  d = acc_malloc((n+1)*4)
+  {fregion}
+  call acc_free(d)
+  do i = 1, n
+    if (out(i) /= 3*i + 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_deviceptr
+"""
+    return _pair(
+        construct, "deviceptr", c_code, f_code,
+        "A raw acc_malloc allocation computed through a deviceptr binding, "
+        "verified by copying results out through a mapped array (IV-B5).",
+        crossexpect="same",
+        extra_deps=("runtime.acc_malloc", "runtime.acc_free"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# data if: a false condition suppresses the data actions, so an inner
+# `present` assertion must fail (the paper's IV-B cross methodology)
+# ---------------------------------------------------------------------------
+
+def _data_if() -> List[str]:
+    inner = _c_region("parallel", "present(A[0:N]) copy(C[0:N])",
+                      "C[j] = A[j] + 6;")
+    c_code = f"""
+int main() {{
+  int i, j, error = 0;
+  int N = {{{{N}}}};
+  int A[{{{{N}}}}], C[{{{{N}}}}];
+  for(i=0; i<N; i++){{ A[i]=i; C[i]=0; }}
+  #pragma acc data {swap("if (1)", "if (0)")} copyin(A[0:N])
+  {{
+  {inner}
+  }}
+  for(i=0; i<N; i++) if(C[i] != A[i] + 6) error++;
+  return (error == 0);
+}}
+"""
+    finner = _f_region("parallel", "present(a(1:n)) copy(c(1:n))",
+                       "c(j) = a(j) + 6")
+    f_code = f"""
+program test_data_if
+  implicit none
+  integer :: i, j, err, n
+  integer :: a({{{{N}}}}), c({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = i
+    c(i) = 0
+  end do
+  !$acc data {swap("if (1 == 1)", "if (1 == 0)")} copyin(a(1:n))
+{finner}
+  !$acc end data
+  do i = 1, n
+    if (c(i) /= a(i) + 6) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_data_if
+"""
+    desc = ("The data construct's if clause gates the data actions: with a "
+            "false condition the inner present assertion must fail at "
+            "runtime (the cross run flips the condition).")
+    return [
+        template_text(name="data_if.c", feature="data.if", language="c",
+                      description=desc, defaults={"N": 50},
+                      dependences=["data.copyin", "parallel.present"],
+                      code=c_code),
+        template_text(name="data_if.f", feature="data.if", language="fortran",
+                      description=desc, defaults={"N": 50},
+                      dependences=["data.copyin", "parallel.present"],
+                      code=f_code),
+    ]

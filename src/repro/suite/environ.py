@@ -1,0 +1,78 @@
+"""Environment-variable tests (OpenACC 1.0 Section 4).
+
+The harness launches these programs with the ACC_* variables from the
+template's ``<acctv:environment>`` tag set in the simulated process
+environment; the program then checks the runtime picked them up.
+Functional-only: environment variables have no in-source directive whose
+removal would form a cross test.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suite.builders import template_text
+
+
+def templates() -> List[str]:
+    out: List[str] = []
+
+    c_code = """
+int main() {
+  int ok = 1;
+  if (acc_get_device_type() == acc_device_host) ok = 0;
+  if (acc_get_device_type() == acc_device_none) ok = 0;
+  return ok;
+}
+"""
+    f_code = """
+program test_env_device_type
+  implicit none
+  integer :: ok
+  ok = 1
+  if (acc_get_device_type() == acc_device_host) ok = 0
+  if (acc_get_device_type() == acc_device_none) ok = 0
+  main = ok
+end program test_env_device_type
+"""
+    desc = ("With ACC_DEVICE_TYPE=NVIDIA in the environment the initial "
+            "device type must be an accelerator.")
+    out.append(template_text(
+        name="env_acc_device_type.c", feature="env.ACC_DEVICE_TYPE",
+        language="c", description=desc,
+        dependences=["runtime.acc_get_device_type"],
+        environment={"ACC_DEVICE_TYPE": "NVIDIA"},
+        crossexpect="same", code=c_code))
+    out.append(template_text(
+        name="env_acc_device_type.f", feature="env.ACC_DEVICE_TYPE",
+        language="fortran", description=desc,
+        dependences=["runtime.acc_get_device_type"],
+        environment={"ACC_DEVICE_TYPE": "NVIDIA"},
+        crossexpect="same", code=f_code))
+
+    c_code = """
+int main() {
+  return (acc_get_device_num(acc_device_not_host) == 0);
+}
+"""
+    f_code = """
+program test_env_device_num
+  implicit none
+  if (acc_get_device_num(acc_device_not_host) == 0) main = 1
+end program test_env_device_num
+"""
+    desc = ("ACC_DEVICE_NUM=0 must select device 0, visible through "
+            "acc_get_device_num.")
+    out.append(template_text(
+        name="env_acc_device_num.c", feature="env.ACC_DEVICE_NUM",
+        language="c", description=desc,
+        dependences=["runtime.acc_get_device_num"],
+        environment={"ACC_DEVICE_NUM": "0"},
+        crossexpect="same", code=c_code))
+    out.append(template_text(
+        name="env_acc_device_num.f", feature="env.ACC_DEVICE_NUM",
+        language="fortran", description=desc,
+        dependences=["runtime.acc_get_device_num"],
+        environment={"ACC_DEVICE_NUM": "0"},
+        crossexpect="same", code=f_code))
+    return out

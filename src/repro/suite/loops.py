@@ -1,0 +1,619 @@
+"""Tests for the loop construct and its clauses (Section IV-C), plus the
+combined ``parallel loop`` / ``kernels loop`` constructs.
+
+The gang/worker/vector scheduling tests exploit the redundant-execution
+semantics of the parallel construct: a loop that is *not* work-shared runs
+once per gang, multiplying its side effects — the observable the paper's
+Fig. 2 cross test is built on.  The ordering tests (``seq``, ``collapse``)
+use the paper's ``last_i`` / ``is_larger`` design (IV-C2, IV-C3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suite.builders import check, cross, swap, template_text
+
+
+def templates() -> List[str]:
+    out: List[str] = []
+    out.extend(_loop_base())
+    out.extend(_gang())
+    out.extend(_worker())
+    out.extend(_vector())
+    out.extend(_seq())
+    out.extend(_independent())
+    out.extend(_collapse())
+    out.extend(_loop_private())
+    out.extend(_combined_base())
+    out.extend(_combined_reduction())
+    out.extend(_parallel_loop_private())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# loop (Fig. 2): work-shared => each element incremented exactly once;
+# removed => every gang increments it
+# ---------------------------------------------------------------------------
+
+def _loop_base() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int A[{{{{N}}}}];
+  for(i=0; i<n; i++) A[i] = 0;
+  #pragma acc parallel num_gangs({{{{G}}}}) copy(A[0:n])
+  {{
+    {check("#pragma acc loop")}
+    for(i=0; i<n; i++)
+      A[i] = A[i] + 1;
+  }}
+  for(i=0; i<n; i++) if(A[i] != 1) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_loop
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel num_gangs({{{{G}}}}) copy(a(1:n))
+  {check("!$acc loop")}
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  do i = 1, n
+    if (a(i) /= 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_loop
+"""
+    desc = ("The loop directive partitions iterations over gangs so each "
+            "element is incremented exactly once (Fig. 2a); without it every "
+            "gang executes the whole loop redundantly (Fig. 2b).")
+    deps = ["parallel.num_gangs", "parallel.copy"]
+    return [
+        template_text(name="loop.c", feature="loop", language="c",
+                      description=desc, dependences=deps,
+                      defaults={"N": 100, "G": 10}, code=c_code),
+        template_text(name="loop.f", feature="loop", language="fortran",
+                      description=desc, dependences=deps,
+                      defaults={"N": 100, "G": 10}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# gang: explicit gang work-sharing, crossed with seq (redundant execution)
+# ---------------------------------------------------------------------------
+
+def _gang() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int A[{{{{N}}}}];
+  for(i=0; i<n; i++) A[i] = 0;
+  #pragma acc parallel num_gangs({{{{G}}}}) copy(A[0:n])
+  {{
+    #pragma acc loop {swap("gang", "seq")}
+    for(i=0; i<n; i++)
+      A[i] = A[i] + 1;
+  }}
+  for(i=0; i<n; i++) if(A[i] != 1) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_loop_gang
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel num_gangs({{{{G}}}}) copy(a(1:n))
+  !$acc loop {swap("gang", "seq")}
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  do i = 1, n
+    if (a(i) /= 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_loop_gang
+"""
+    desc = ("Explicit gang work-sharing; the cross substitutes seq, so every "
+            "gang runs the full loop and each element is incremented "
+            "num_gangs times.")
+    deps = ["parallel.num_gangs", "parallel.copy"]
+    return [
+        template_text(name="loop_gang.c", feature="loop.gang", language="c",
+                      description=desc, dependences=deps,
+                      defaults={"N": 100, "G": 10}, code=c_code),
+        template_text(name="loop_gang.f", feature="loop.gang",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"N": 100, "G": 10}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# worker / vector: gang+level work-sharing crossed with seq
+# ---------------------------------------------------------------------------
+
+def _level_template(level: str) -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int A[{{{{N}}}}];
+  for(i=0; i<n; i++) A[i] = 0;
+  #pragma acc parallel num_gangs({{{{G}}}}) copy(A[0:n])
+  {{
+    #pragma acc loop {swap(f"gang {level}", "seq")}
+    for(i=0; i<n; i++)
+      A[i] = A[i] + 1;
+  }}
+  for(i=0; i<n; i++) if(A[i] != 1) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_loop_{level}
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = 0
+  end do
+  !$acc parallel num_gangs({{{{G}}}}) copy(a(1:n))
+  !$acc loop {swap(f"gang {level}", "seq")}
+  do i = 1, n
+    a(i) = a(i) + 1
+  end do
+  !$acc end parallel
+  do i = 1, n
+    if (a(i) /= 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_loop_{level}
+"""
+    desc = (f"gang {level} work-sharing must cover every iteration exactly "
+            "once across gangs and their lanes; the seq cross multiplies the "
+            "increments by the gang count.")
+    deps = ["parallel.num_gangs", "parallel.copy", "loop.gang"]
+    return [
+        template_text(name=f"loop_{level}.c", feature=f"loop.{level}",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"N": 96, "G": 4}, code=c_code),
+        template_text(name=f"loop_{level}.f", feature=f"loop.{level}",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"N": 96, "G": 4}, code=f_code),
+    ]
+
+
+def _worker() -> List[str]:
+    return _level_template("worker")
+
+
+def _vector() -> List[str]:
+    return _level_template("vector")
+
+
+# ---------------------------------------------------------------------------
+# seq (IV-C2): last_i / is_larger ordering check; crossed with worker
+# ---------------------------------------------------------------------------
+
+def _seq() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i;
+  int n = {{{{N}}}};
+  int last_i = -1, is_larger = 1;
+  #pragma acc parallel num_gangs(1) copy(last_i, is_larger)
+  {{
+    #pragma acc loop {swap("seq", "worker")}
+    for(i=0; i<n; i++){{
+      is_larger = ((i - last_i) == 1) && is_larger;
+      last_i = i;
+    }}
+  }}
+  return (is_larger == 1);
+}}
+"""
+    f_code = f"""
+program test_loop_seq
+  implicit none
+  integer :: i, n, last_i, is_larger
+  n = {{{{N}}}}
+  last_i = -1
+  is_larger = 1
+  !$acc parallel num_gangs(1) copy(last_i, is_larger)
+  !$acc loop {swap("seq", "worker")}
+  do i = 0, n-1
+    if ((i - last_i) == 1 .and. is_larger == 1) then
+      is_larger = 1
+    else
+      is_larger = 0
+    end if
+    last_i = i
+  end do
+  !$acc end parallel
+  if (is_larger == 1) main = 1
+end program test_loop_seq
+"""
+    desc = ("seq forces in-order execution, observed through the last_i / "
+            "is_larger recurrence of Section IV-C2; the worker cross runs "
+            "iterations out of order and must break the chain.")
+    deps = ["parallel.copy"]
+    return [
+        template_text(name="loop_seq.c", feature="loop.seq", language="c",
+                      description=desc, dependences=deps, defaults={"N": 64},
+                      code=c_code),
+        template_text(name="loop_seq.f", feature="loop.seq",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"N": 64}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# independent (IV-C1): asserting independence on a truly independent loop in
+# a kernels region must work; asserting it on a dependent loop must break
+# ---------------------------------------------------------------------------
+
+def _independent() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0; i<n; i++) a[i] = 0;
+  a[0] = 1;
+  #pragma acc kernels copy(a[0:n])
+  {{
+{check('''    #pragma acc loop independent
+    for(i=0; i<n; i++)
+      a[i] = 2*i + 1;''')}{cross('''    #pragma acc loop independent
+    for(i=1; i<n; i++)
+      a[i] = a[i-1] + 2;''')}
+  }}
+  for(i=1; i<n; i++) if(a[i] != 2*i + 1) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_loop_independent
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = 0
+  end do
+  a(1) = 1
+  !$acc kernels copy(a(1:n))
+{check('''  !$acc loop independent
+  do i = 1, n
+    a(i) = 2*i + 1
+  end do''')}{cross('''  !$acc loop independent
+  do i = 2, n
+    a(i) = a(i-1) + 2
+  end do''')}
+  !$acc end kernels
+  do i = 2, n
+    if (a(i) /= 2*i + 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_loop_independent
+"""
+    desc = ("independent overrides the kernels dependence analysis.  The "
+            "functional loop really is independent (correct results); the "
+            "cross loop carries a true dependence, so forced parallel "
+            "execution must corrupt the recurrence (IV-C1).")
+    deps = ["kernels.copy"]
+    return [
+        template_text(name="loop_independent.c", feature="loop.independent",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"N": 64}, code=c_code),
+        template_text(name="loop_independent.f", feature="loop.independent",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"N": 64}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# collapse (IV-C3): two-level nest linearised in order; crossed with worker
+# ---------------------------------------------------------------------------
+
+def _collapse() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, j;
+  int rows = {{{{R}}}}, cols = {{{{C}}}};
+  int last = -1, in_order = 1;
+  #pragma acc parallel num_gangs(1) copy(last, in_order)
+  {{
+    #pragma acc loop collapse(2) {swap("seq", "worker")}
+    for(i=0; i<rows; i++)
+      for(j=0; j<cols; j++){{
+        in_order = ((i*cols + j - last) == 1) && in_order;
+        last = i*cols + j;
+      }}
+  }}
+  return (in_order == 1);
+}}
+"""
+    f_code = f"""
+program test_loop_collapse
+  implicit none
+  integer :: i, j, rows, cols, last, in_order
+  rows = {{{{R}}}}
+  cols = {{{{C}}}}
+  last = -1
+  in_order = 1
+  !$acc parallel num_gangs(1) copy(last, in_order)
+  !$acc loop collapse(2) {swap("seq", "worker")}
+  do i = 0, rows-1
+    do j = 0, cols-1
+      if ((i*cols + j - last) == 1 .and. in_order == 1) then
+        in_order = 1
+      else
+        in_order = 0
+      end if
+      last = i*cols + j
+    end do
+  end do
+  !$acc end parallel
+  if (in_order == 1) main = 1
+end program test_loop_collapse
+"""
+    desc = ("collapse(2) associates both nested loops with the directive; "
+            "with seq the linearised index must increase by exactly one per "
+            "iteration (IV-C3).  The worker cross breaks the order.")
+    deps = ["parallel.copy", "loop.seq"]
+    return [
+        template_text(name="loop_collapse.c", feature="loop.collapse",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"R": 8, "C": 8}, code=c_code),
+        template_text(name="loop_collapse.f", feature="loop.collapse",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"R": 8, "C": 8}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# loop private: in a kernels region the scalar defaults to copy semantics,
+# so without privatisation the sequential fallback leaks the last iteration
+# ---------------------------------------------------------------------------
+
+def _loop_private() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, t = 42, error = 0;
+  int n = {{{{N}}}};
+  int b[{{{{N}}}}];
+  for(i=0; i<n; i++) b[i] = 0;
+  #pragma acc kernels copy(b[0:n], t)
+  {{
+    #pragma acc loop {check("private(t)")}
+    for(i=0; i<n; i++){{
+      t = 3*i;
+      b[i] = t + 1;
+    }}
+  }}
+  if (t != 42) error++;
+  for(i=0; i<n; i++) if(b[i] != 3*i + 1) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_loop_private
+  implicit none
+  integer :: i, t, err, n
+  integer :: b({{{{N}}}})
+  t = 42
+  err = 0
+  n = {{{{N}}}}
+  do i = 1, n
+    b(i) = 0
+  end do
+  !$acc kernels copy(b(1:n), t)
+  !$acc loop {check("private(t)")}
+  do i = 1, n
+    t = 3*i
+    b(i) = t + 1
+  end do
+  !$acc end kernels
+  if (t /= 42) err = err + 1
+  do i = 1, n
+    if (b(i) /= 3*i + 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_loop_private
+"""
+    desc = ("private protects the copied-in scalar: after the region the "
+            "host must still see 42.  Without the clause the kernels copy "
+            "semantics write the last iteration's value back.")
+    deps = ["kernels.copy"]
+    return [
+        template_text(name="loop_private.c", feature="loop.private",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"N": 32}, code=c_code),
+        template_text(name="loop_private.f", feature="loop.private",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"N": 32}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# combined constructs
+# ---------------------------------------------------------------------------
+
+def _combined_base() -> List[str]:
+    out = []
+    for combined in ("parallel loop", "kernels loop"):
+        short = combined.replace(" ", "_")
+        c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int A[{{{{N}}}}], B[{{{{N}}}}];
+  for(i=0; i<n; i++){{ A[i]=i; B[i]=0; }}
+  {check(f"#pragma acc {combined} copyin(A[0:n]) copy(B[0:n])")}
+  for(i=0; i<n; i++)
+    B[i] = A[i] * 2 + acc_on_device(acc_device_not_host);
+  for(i=0; i<n; i++) if(B[i] != A[i] * 2 + 1) error++;
+  return (error == 0);
+}}
+"""
+        f_code = f"""
+program test_{short}
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}}), b({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = i
+    b(i) = 0
+  end do
+  {check(f"!$acc {combined} copyin(a(1:n)) copy(b(1:n))")}
+  do i = 1, n
+    b(i) = a(i) * 2 + acc_on_device(acc_device_not_host)
+  end do
+  {check(f"!$acc end {combined}")}
+  do i = 1, n
+    if (b(i) /= a(i) * 2 + 1) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_{short}
+"""
+        desc = (f"The combined {combined} construct offloads and work-shares "
+                "in one directive; acc_on_device proves device execution "
+                "(the cross run stays on the host and adds 0).")
+        deps = ["runtime.acc_on_device"]
+        out.append(template_text(
+            name=f"{short}.c", feature=combined, language="c",
+            description=desc, dependences=deps, defaults={"N": 60},
+            code=c_code))
+        out.append(template_text(
+            name=f"{short}.f", feature=combined, language="fortran",
+            description=desc, dependences=deps, defaults={"N": 60},
+            code=f_code))
+    return out
+
+
+def _combined_reduction() -> List[str]:
+    out = []
+    for combined in ("parallel loop", "kernels loop"):
+        short = combined.replace(" ", "_")
+        c_code = f"""
+int main() {{
+  int i, known_sum, sum = 0;
+  int n = {{{{N}}}};
+  known_sum = (n * (n - 1)) / 2;
+  #pragma acc {combined} {check("reduction(+:sum)")}
+  for(i=0; i<n; i++)
+    sum += i;
+  return (sum == known_sum);
+}}
+"""
+        f_code = f"""
+program test_{short}_red
+  implicit none
+  integer :: i, known_sum, s, n
+  n = {{{{N}}}}
+  s = 0
+  known_sum = (n * (n - 1)) / 2
+  !$acc {combined} {check("reduction(+:s)")}
+  do i = 0, n-1
+    s = s + i
+  end do
+  !$acc end {combined}
+  if (s == known_sum) main = 1
+end program test_{short}_red
+"""
+        desc = (f"Sum reduction on the combined {combined} construct (the "
+                "Fig. 7 design with an integer oracle); removing the clause "
+                "leaves the host value untouched or corrupts the sum.")
+        # In a kernels region a conforming compiler's dependence analysis
+        # serialises the bare accumulation loop, so the cross run still
+        # produces the correct sum — an inconclusive (same) cross.
+        crossexpect = "same" if combined == "kernels loop" else "different"
+        out.append(template_text(
+            name=f"{short}_reduction.c", feature=f"{combined}.reduction",
+            language="c", description=desc, dependences=[combined],
+            defaults={"N": 64}, crossexpect=crossexpect, code=c_code))
+        out.append(template_text(
+            name=f"{short}_reduction.f", feature=f"{combined}.reduction",
+            language="fortran", description=desc, dependences=[combined],
+            defaults={"N": 64}, crossexpect=crossexpect, code=f_code))
+    return out
+
+
+def _parallel_loop_private() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, t = 9, error = 0;
+  int n = {{{{N}}}};
+  int b[{{{{N}}}}];
+  for(i=0; i<n; i++) b[i] = 0;
+  #pragma acc parallel loop copy(b[0:n]) {check("private(t)")}
+  for(i=0; i<n; i++){{
+    t = i + 5;
+    b[i] = t;
+  }}
+  if (t != 9) error++;
+  for(i=0; i<n; i++) if(b[i] != i + 5) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_parallel_loop_private
+  implicit none
+  integer :: i, t, err, n
+  integer :: b({{{{N}}}})
+  t = 9
+  err = 0
+  n = {{{{N}}}}
+  do i = 1, n
+    b(i) = 0
+  end do
+  !$acc parallel loop copy(b(1:n)) {check("private(t)")}
+  do i = 1, n
+    t = i + 5
+    b(i) = t
+  end do
+  !$acc end parallel loop
+  if (t /= 9) err = err + 1
+  do i = 1, n
+    if (b(i) /= i + 5) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_parallel_loop_private
+"""
+    desc = ("private on the combined parallel loop protects the host scalar; "
+            "implicit firstprivate gives the same observable result, so the "
+            "cross expectation is `same`.")
+    return [
+        template_text(name="parallel_loop_private.c",
+                      feature="parallel loop.private", language="c",
+                      description=desc, dependences=["parallel loop"],
+                      defaults={"N": 32}, crossexpect="same", code=c_code),
+        template_text(name="parallel_loop_private.f",
+                      feature="parallel loop.private", language="fortran",
+                      description=desc, dependences=["parallel loop"],
+                      defaults={"N": 32}, crossexpect="same", code=f_code),
+    ]

@@ -1,0 +1,803 @@
+"""Tests for update, host_data, declare, cache and wait (Sections IV-D/E).
+
+* ``update host`` brings device results back *inside* a data region instead
+  of relying on a copyout; ``update device`` pushes host-side edits in.
+* ``host_data use_device`` exposes the device address to host code, here a
+  helper procedure that computes through a ``deviceptr`` binding — the
+  combination the paper describes in Section IV-E.
+* ``declare`` gives function-scope data lifetimes.
+* ``cache`` is a performance hint: correctness must be unchanged (the cross
+  expectation is `same`).
+* ``wait`` synchronises previously launched async work.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suite.builders import check, cross, swap, template_text
+
+
+def templates() -> List[str]:
+    out: List[str] = []
+    out.extend(_update_host())
+    out.extend(_update_device())
+    out.extend(_update_if())
+    out.extend(_update_async())
+    out.extend(_host_data())
+    out.extend(_declare())
+    out.extend(_cache())
+    out.extend(_wait())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# update host (IV-D): results fetched mid-region; checked before region end
+# ---------------------------------------------------------------------------
+
+def _update_host() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, ok = 1;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0; i<n; i++) a[i] = i;
+  #pragma acc data copyin(a[0:n])
+  {{
+    #pragma acc parallel loop
+    for(i=0; i<n; i++)
+      a[i] = a[i] * 5;
+    {check("#pragma acc update host(a[0:n])")}
+    for(i=0; i<n; i++)
+      if (a[i] != i * 5) ok = 0;
+  }}
+  return ok;
+}}
+"""
+    f_code = f"""
+program test_update_host
+  implicit none
+  integer :: i, ok, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  ok = 1
+  do i = 1, n
+    a(i) = i
+  end do
+  !$acc data copyin(a(1:n))
+  !$acc parallel loop
+  do i = 1, n
+    a(i) = a(i) * 5
+  end do
+  !$acc end parallel loop
+  {check("!$acc update host(a(1:n))")}
+  do i = 1, n
+    if (a(i) /= i * 5) ok = 0
+  end do
+  !$acc end data
+  main = ok
+end program test_update_host
+"""
+    desc = ("Device results are fetched with update host inside the data "
+            "region (the array was only copied *in*); without the update the "
+            "host still sees the original values.")
+    deps = ["data.copyin", "parallel loop"]
+    return [
+        template_text(name="update_host.c", feature="update.host",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"N": 40}, code=c_code),
+        template_text(name="update_host.f", feature="update.host",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"N": 40}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# update device: host-side edits pushed into an existing device copy
+# ---------------------------------------------------------------------------
+
+def _update_device() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}], out[{{{{N}}}}];
+  for(i=0; i<n; i++){{ a[i] = 1; out[i] = 0; }}
+  #pragma acc data copyin(a[0:n]) copy(out[0:n])
+  {{
+    for(i=0; i<n; i++)
+      a[i] = i + 2;
+    {check("#pragma acc update device(a[0:n])")}
+    #pragma acc parallel loop
+    for(i=0; i<n; i++)
+      out[i] = a[i] * 3;
+  }}
+  for(i=0; i<n; i++) if (out[i] != (i + 2) * 3) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_update_device
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}}), out({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = 1
+    out(i) = 0
+  end do
+  !$acc data copyin(a(1:n)) copy(out(1:n))
+  do i = 1, n
+    a(i) = i + 2
+  end do
+  {check("!$acc update device(a(1:n))")}
+  !$acc parallel loop
+  do i = 1, n
+    out(i) = a(i) * 3
+  end do
+  !$acc end parallel loop
+  !$acc end data
+  do i = 1, n
+    if (out(i) /= (i + 2) * 3) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_update_device
+"""
+    desc = ("Host edits made inside the data region must be pushed with "
+            "update device before the kernel reads them; without it the "
+            "device still computes with the stale copy.")
+    deps = ["data.copyin", "data.copy", "parallel loop"]
+    return [
+        template_text(name="update_device.c", feature="update.device",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"N": 40}, code=c_code),
+        template_text(name="update_device.f", feature="update.device",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"N": 40}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# update if: condition gates the transfer
+# ---------------------------------------------------------------------------
+
+def _update_if() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, ok = 1;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0; i<n; i++) a[i] = i;
+  #pragma acc data copyin(a[0:n])
+  {{
+    #pragma acc parallel loop
+    for(i=0; i<n; i++)
+      a[i] = a[i] + 10;
+    #pragma acc update host(a[0:n]) {swap("if (1)", "if (0)")}
+    for(i=0; i<n; i++)
+      if (a[i] != i + 10) ok = 0;
+  }}
+  return ok;
+}}
+"""
+    f_code = f"""
+program test_update_if
+  implicit none
+  integer :: i, ok, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  ok = 1
+  do i = 1, n
+    a(i) = i
+  end do
+  !$acc data copyin(a(1:n))
+  !$acc parallel loop
+  do i = 1, n
+    a(i) = a(i) + 10
+  end do
+  !$acc end parallel loop
+  !$acc update host(a(1:n)) {swap("if (1 == 1)", "if (1 == 0)")}
+  do i = 1, n
+    if (a(i) /= i + 10) ok = 0
+  end do
+  !$acc end data
+  main = ok
+end program test_update_if
+"""
+    desc = ("The if clause on update gates the transfer; with a false "
+            "condition (cross) the host never receives the device values.")
+    deps = ["update.host", "data.copyin", "parallel loop"]
+    return [
+        template_text(name="update_if.c", feature="update.if", language="c",
+                      description=desc, dependences=deps, defaults={"N": 40},
+                      code=c_code),
+        template_text(name="update_if.f", feature="update.if",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"N": 40}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# update async: the transfer is queued and only lands at the wait
+# ---------------------------------------------------------------------------
+
+def _update_async() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, ok = 1, before_wait = 1;
+  int n = {{{{N}}}}, tag = 7;
+  int a[{{{{N}}}}];
+  for(i=0; i<n; i++) a[i] = i;
+  #pragma acc data copyin(a[0:n])
+  {{
+    #pragma acc parallel loop
+    for(i=0; i<n; i++)
+      a[i] = a[i] + 100;
+    #pragma acc update host(a[0:n]) {check("async(tag)")}
+    for(i=0; i<n; i++)
+      if (a[i] != i) before_wait = 0;
+    #pragma acc wait(tag)
+    for(i=0; i<n; i++)
+      if (a[i] != i + 100) ok = 0;
+  }}
+  return (ok == 1) && (before_wait == 1);
+}}
+"""
+    f_code = f"""
+program test_update_async
+  implicit none
+  integer :: i, ok, before_wait, n, tag
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  tag = 7
+  ok = 1
+  before_wait = 1
+  do i = 1, n
+    a(i) = i
+  end do
+  !$acc data copyin(a(1:n))
+  !$acc parallel loop
+  do i = 1, n
+    a(i) = a(i) + 100
+  end do
+  !$acc end parallel loop
+  !$acc update host(a(1:n)) {check("async(tag)")}
+  do i = 1, n
+    if (a(i) /= i) before_wait = 0
+  end do
+  !$acc wait(tag)
+  do i = 1, n
+    if (a(i) /= i + 100) ok = 0
+  end do
+  !$acc end data
+  if (ok == 1 .and. before_wait == 1) main = 1
+end program test_update_async
+"""
+    desc = ("An asynchronous update must not have landed before the wait "
+            "(the host still sees the original values) and must have landed "
+            "after it; without async the first check already sees new data.")
+    deps = ["update.host", "wait", "data.copyin", "parallel loop"]
+    return [
+        template_text(name="update_async.c", feature="update.async",
+                      language="c", description=desc, dependences=deps,
+                      defaults={"N": 40}, code=c_code),
+        template_text(name="update_async.f", feature="update.async",
+                      language="fortran", description=desc, dependences=deps,
+                      defaults={"N": 40}, code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# host_data use_device (IV-E): pass the device address to a helper procedure
+# ---------------------------------------------------------------------------
+
+def _host_data() -> List[str]:
+    c_code = f"""
+void scale_on_device(int *p, int n) {{
+  int j;
+  #pragma acc parallel deviceptr(p)
+  {{
+    #pragma acc loop
+    for(j=0; j<n; j++)
+      p[j] = p[j] * 2;
+  }}
+}}
+
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}];
+  for(i=0; i<n; i++) a[i] = i + 1;
+  #pragma acc data copy(a[0:n])
+  {{
+    {check("#pragma acc host_data use_device(a)")}
+    {{
+      scale_on_device(a, n);
+    }}
+  }}
+  for(i=0; i<n; i++) if (a[i] != (i + 1) * 2) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_host_data
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = i + 1
+  end do
+  !$acc data copy(a(1:n))
+  {check("!$acc host_data use_device(a)")}
+  call scale_on_device(a, n)
+  {check("!$acc end host_data")}
+  !$acc end data
+  do i = 1, n
+    if (a(i) /= (i + 1) * 2) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_host_data
+
+subroutine scale_on_device(p, n)
+  implicit none
+  integer :: n, j
+  integer :: p(n)
+  !$acc parallel deviceptr(p)
+  !$acc loop
+  do j = 1, n
+    p(j) = p(j) * 2
+  end do
+  !$acc end parallel
+end subroutine scale_on_device
+"""
+    desc = ("host_data use_device hands the device address to host code; "
+            "the helper scales the device copy through deviceptr and the "
+            "enclosing copy region brings the results home (IV-E).  Without "
+            "host_data the helper scales the host copy, which the copyout "
+            "then overwrites with stale device data.")
+    deps = ["data.copy", "parallel.deviceptr"]
+    return [
+        template_text(name="host_data_use_device.c",
+                      feature="host_data.use_device", language="c",
+                      description=desc, dependences=deps, defaults={"N": 30},
+                      code=c_code),
+        template_text(name="host_data_use_device.f",
+                      feature="host_data.use_device", language="fortran",
+                      description=desc, dependences=deps, defaults={"N": 30},
+                      code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# declare: function-scope data lifetimes
+# ---------------------------------------------------------------------------
+
+def _declare() -> List[str]:
+    out: List[str] = []
+    # declare create: device-resident scratch across two regions
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int t[{{{{N}}}}], a[{{{{N}}}}], c[{{{{N}}}}];
+  {check("#pragma acc declare create(t[0:{{N}}])")}
+  for(i=0; i<n; i++){{ a[i]=i; t[i]=-3; c[i]=0; }}
+  #pragma acc parallel loop present(t[0:n]) copyin(a[0:n])
+  for(i=0; i<n; i++)
+    t[i] = a[i] + 1;
+  #pragma acc parallel loop present(t[0:n]) copy(c[0:n])
+  for(i=0; i<n; i++)
+    c[i] = t[i] * 2;
+  for(i=0; i<n; i++){{
+    if (c[i] != (a[i] + 1) * 2) error++;
+    if (t[i] != -3) error++;
+  }}
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_declare_create
+  implicit none
+  integer :: i, err, n
+  integer :: t({{{{N}}}}), a({{{{N}}}}), c({{{{N}}}})
+  {check("!$acc declare create(t(1:{{N}}))")}
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = i
+    t(i) = -3
+    c(i) = 0
+  end do
+  !$acc parallel loop present(t(1:n)) copyin(a(1:n))
+  do i = 1, n
+    t(i) = a(i) + 1
+  end do
+  !$acc end parallel loop
+  !$acc parallel loop present(t(1:n)) copy(c(1:n))
+  do i = 1, n
+    c(i) = t(i) * 2
+  end do
+  !$acc end parallel loop
+  do i = 1, n
+    if (c(i) /= (a(i) + 1) * 2) err = err + 1
+    if (t(i) /= -3) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_declare_create
+"""
+    desc = ("declare create gives the scratch array a device lifetime for "
+            "the whole function, visible to both compute regions via "
+            "present; removing the declare makes the present check fail.")
+    out.append(template_text(
+        name="declare_create.c", feature="declare.create", language="c",
+        description=desc, dependences=["parallel.present", "parallel loop"],
+        defaults={"N": 30}, code=c_code))
+    out.append(template_text(
+        name="declare_create.f", feature="declare.create", language="fortran",
+        description=desc, dependences=["parallel.present", "parallel loop"],
+        defaults={"N": 30}, code=f_code))
+
+    # declare copyin: the device must see the host's initial values; the
+    # create cross leaves garbage on the device
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int g[{{{{N}}}}], c[{{{{N}}}}];
+  {swap("#pragma acc declare copyin(g[0:{{N}}])", "#pragma acc declare create(g[0:{{N}}])")}
+  for(i=0; i<n; i++){{ g[i]=i; c[i]=0; }}
+  #pragma acc parallel loop present(g[0:n]) copy(c[0:n])
+  for(i=0; i<n; i++)
+    c[i] = g[i] + 4;
+  for(i=0; i<n; i++) if (c[i] != i + 4) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_declare_copyin
+  implicit none
+  integer :: i, err, n
+  integer :: g({{{{N}}}}), c({{{{N}}}})
+  {swap("!$acc declare copyin(g(1:{{N}}))", "!$acc declare create(g(1:{{N}}))")}
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    g(i) = i
+    c(i) = 0
+  end do
+  !$acc parallel loop present(g(1:n)) copy(c(1:n))
+  do i = 1, n
+    c(i) = g(i) + 4
+  end do
+  !$acc end parallel loop
+  do i = 1, n
+    if (c(i) /= i + 4) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_declare_copyin
+"""
+    desc = ("declare copyin must populate the device copy from the host "
+            "values; the create cross leaves device garbage behind the "
+            "present lookup.")
+    out.append(template_text(
+        name="declare_copyin.c", feature="declare.copyin", language="c",
+        description=desc, defaults={"N": 30},
+        dependences=["parallel.present", "parallel loop"], code=c_code))
+    out.append(template_text(
+        name="declare_copyin.f", feature="declare.copyin", language="fortran",
+        description=desc, defaults={"N": 30},
+        dependences=["parallel.present", "parallel loop"], code=f_code))
+
+    # declare copy / copyout: the exit copyout happens when the *helper*
+    # returns, so main observes it on a global array after the call
+    for leaf, payload in (("copy", "g[j] + 9"), ("copyout", "j * 6")):
+        f_payload = payload.replace("[j]", "(j)").replace("j *", "j *")
+        expected_c = "i + 9" if leaf == "copy" else "i * 6"
+        expected_f = "i + 9" if leaf == "copy" else "i * 6"
+        c_code = f"""
+int g[{{{{N}}}}];
+
+{swap(f"#pragma acc declare {leaf}(g[0:{{{{N}}}}])", "#pragma acc declare create(g[0:{{N}}])")}
+void kernel_step(int n) {{
+  int j;
+  #pragma acc parallel loop present(g[0:n])
+  for(j=0; j<n; j++)
+    g[j] = {payload};
+}}
+
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  for(i=0; i<n; i++) g[i] = i;
+  kernel_step(n);
+  for(i=0; i<n; i++) if (g[i] != {expected_c}) error++;
+  return (error == 0);
+}}
+"""
+        f_code = f"""
+program test_declare_{leaf}
+  implicit none
+  integer :: i, err, n
+  integer :: g({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    g(i) = i - 1
+  end do
+  call kernel_step(g, n)
+  do i = 1, n
+    if (g(i) /= {expected_f.replace('i +', '(i - 1) +').replace('i *', '(i - 1) *')}) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_declare_{leaf}
+
+subroutine kernel_step(g, n)
+  implicit none
+  integer :: n, j
+  integer :: g(n)
+  {swap(f"!$acc declare {leaf}(g(1:n))", "!$acc declare create(g(1:n))")}
+  !$acc parallel loop present(g(1:n))
+  do j = 1, n
+    g(j) = {f_payload.replace('g(j) + 9', 'g(j) + 9').replace('j * 6', '(j - 1) * 6')}
+  end do
+  !$acc end parallel loop
+end subroutine kernel_step
+"""
+        desc = (f"declare {leaf} ties the device lifetime to the helper "
+                "invocation: its exit copies the results back to the global "
+                "array; the create cross never writes back.")
+        out.append(template_text(
+            name=f"declare_{leaf}.c", feature=f"declare.{leaf}", language="c",
+            description=desc, defaults={"N": 30},
+            dependences=["parallel.present", "parallel loop"], code=c_code))
+        out.append(template_text(
+            name=f"declare_{leaf}.f", feature=f"declare.{leaf}",
+            language="fortran", description=desc, defaults={"N": 30},
+            dependences=["parallel.present", "parallel loop"], code=f_code))
+
+    # declare device_resident: create-like device lifetime; removing the
+    # declare makes the present assertion fail
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int g[{{{{N}}}}];
+  {check("#pragma acc declare device_resident(g[0:{{N}}])")}
+  for(i=0; i<n; i++) g[i] = -4;
+  #pragma acc parallel loop present(g[0:n])
+  for(i=0; i<n; i++)
+    g[i] = i * 6;
+  #pragma acc update host(g[0:n])
+  for(i=0; i<n; i++) if (g[i] != i * 6) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_declare_device_resident
+  implicit none
+  integer :: i, err, n
+  integer :: g({{{{N}}}})
+  {check("!$acc declare device_resident(g(1:{{N}}))")}
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    g(i) = -4
+  end do
+  !$acc parallel loop present(g(1:n))
+  do i = 1, n
+    g(i) = i * 6
+  end do
+  !$acc end parallel loop
+  !$acc update host(g(1:n))
+  do i = 1, n
+    if (g(i) /= i * 6) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_declare_device_resident
+"""
+    desc = ("declare device_resident allocates the array on the device for "
+            "the function lifetime; removing the declare (cross) makes the "
+            "present assertion fail at runtime.")
+    out.append(template_text(
+        name="declare_device_resident.c", feature="declare.device_resident",
+        language="c", description=desc, defaults={"N": 30},
+        dependences=["parallel.present", "update.host", "parallel loop"],
+        code=c_code))
+    out.append(template_text(
+        name="declare_device_resident.f", feature="declare.device_resident",
+        language="fortran", description=desc, defaults={"N": 30},
+        dependences=["parallel.present", "update.host", "parallel loop"],
+        code=f_code))
+
+    # declare present: asserts an enclosing lifetime (from a data region in
+    # the caller is not expressible here, so use an enclosing data construct)
+    c_code = f"""
+int helper(int b[], int n) {{
+  int i, ok = 1;
+  {check("#pragma acc declare present(b[0:n])")}
+  #pragma acc parallel loop present(b[0:n])
+  for(i=0; i<n; i++)
+    b[i] = b[i] + 9;
+  return ok;
+}}
+
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int b[{{{{N}}}}];
+  for(i=0; i<n; i++) b[i] = i;
+  {check("#pragma acc data copy(b[0:n])")}
+  {{
+    helper(b, n);
+  }}
+  for(i=0; i<n; i++) if (b[i] != i + 9) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_declare_present
+  implicit none
+  integer :: i, err, n
+  integer :: b({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    b(i) = i
+  end do
+  {check("!$acc data copy(b(1:n))")}
+  call helper(b, n)
+  {check("!$acc end data")}
+  do i = 1, n
+    if (b(i) /= i + 9) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_declare_present
+
+subroutine helper(b, n)
+  implicit none
+  integer :: n, i
+  integer :: b(n)
+  {check("!$acc declare present(b(1:n))")}
+  !$acc parallel loop present(b(1:n))
+  do i = 1, n
+    b(i) = b(i) + 9
+  end do
+  !$acc end parallel loop
+end subroutine helper
+"""
+    desc = ("declare present in a helper asserts the caller established the "
+            "device lifetime; the cross removes the caller's data region and "
+            "the presence check must fail.")
+    out.append(template_text(
+        name="declare_present.c", feature="declare.present", language="c",
+        description=desc, defaults={"N": 30},
+        dependences=["data.copy", "parallel loop"], code=c_code))
+    out.append(template_text(
+        name="declare_present.f", feature="declare.present",
+        language="fortran", description=desc, defaults={"N": 30},
+        dependences=["data.copy", "parallel loop"], code=f_code))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# cache: a hint; results must be identical with or without it
+# ---------------------------------------------------------------------------
+
+def _cache() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {{{{N}}}};
+  int a[{{{{N}}}}], b[{{{{N}}}}];
+  for(i=0; i<n; i++){{ a[i]=i; b[i]=0; }}
+  #pragma acc parallel loop copyin(a[0:n]) copy(b[0:n])
+  for(i=0; i<n; i++){{
+    {check("#pragma acc cache(a[0:n])")}
+    b[i] = a[i] * 4;
+  }}
+  for(i=0; i<n; i++) if (b[i] != i * 4) error++;
+  return (error == 0);
+}}
+"""
+    f_code = f"""
+program test_cache
+  implicit none
+  integer :: i, err, n
+  integer :: a({{{{N}}}}), b({{{{N}}}})
+  n = {{{{N}}}}
+  err = 0
+  do i = 1, n
+    a(i) = i
+    b(i) = 0
+  end do
+  !$acc parallel loop copyin(a(1:n)) copy(b(1:n))
+  do i = 1, n
+    {check("!$acc cache(a(1:n))")}
+    b(i) = a(i) * 4
+  end do
+  !$acc end parallel loop
+  do i = 1, n
+    if (b(i) /= i * 4) err = err + 1
+  end do
+  if (err == 0) main = 1
+end program test_cache
+"""
+    desc = ("cache is a locality hint: results must be identical with and "
+            "without it, so the cross expectation is `same`; the functional "
+            "run verifies the directive is at least accepted and harmless.")
+    return [
+        template_text(name="cache.c", feature="cache", language="c",
+                      description=desc, dependences=["parallel loop"],
+                      defaults={"N": 40}, crossexpect="same", code=c_code),
+        template_text(name="cache.f", feature="cache", language="fortran",
+                      description=desc, dependences=["parallel loop"],
+                      defaults={"N": 40}, crossexpect="same", code=f_code),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# wait: synchronises a previously launched async region
+# ---------------------------------------------------------------------------
+
+def _wait() -> List[str]:
+    c_code = f"""
+int main() {{
+  int i, ok = 1;
+  int n = {{{{N}}}}, tag = 5;
+  int a[{{{{N}}}}], b[{{{{N}}}}];
+  for(i=0; i<n; i++){{ a[i]=i; b[i]=-1; }}
+  #pragma acc data copyin(a[0:n]) copy(b[0:n])
+  {{
+    #pragma acc parallel loop async(tag)
+    for(i=0; i<n; i++)
+      b[i] = a[i] * 8;
+    {check("#pragma acc wait(tag)")}
+    #pragma acc update host(b[0:n])
+    for(i=0; i<n; i++)
+      if (b[i] != a[i] * 8) ok = 0;
+  }}
+  return ok;
+}}
+"""
+    f_code = f"""
+program test_wait
+  implicit none
+  integer :: i, ok, n, tag
+  integer :: a({{{{N}}}}), b({{{{N}}}})
+  n = {{{{N}}}}
+  tag = 5
+  ok = 1
+  do i = 1, n
+    a(i) = i
+    b(i) = -1
+  end do
+  !$acc data copyin(a(1:n)) copy(b(1:n))
+  !$acc parallel loop async(tag)
+  do i = 1, n
+    b(i) = a(i) * 8
+  end do
+  !$acc end parallel loop
+  {check("!$acc wait(tag)")}
+  !$acc update host(b(1:n))
+  do i = 1, n
+    if (b(i) /= a(i) * 8) ok = 0
+  end do
+  !$acc end data
+  main = ok
+end program test_wait
+"""
+    desc = ("wait(tag) must complete the queued region before the host reads "
+            "the updated results; without it the update fetches the "
+            "still-unwritten device buffer.")
+    deps = ["parallel loop", "parallel.async", "update.host"]
+    return [
+        template_text(name="wait.c", feature="wait", language="c",
+                      description=desc, dependences=deps, defaults={"N": 40},
+                      code=c_code),
+        template_text(name="wait.f", feature="wait", language="fortran",
+                      description=desc, dependences=deps, defaults={"N": 40},
+                      code=f_code),
+    ]

@@ -1,0 +1,205 @@
+"""The reduction test matrix (Section IV-C4).
+
+"The reduction test covers combinations of different types of data (e.g.
+int, float and double) and different types of reduction operations
+(+, *, max, min, &&, ||, &, |, ^)."
+
+Each test precomputes the oracle on the host with a sequential loop, then
+performs the same reduction through a ``parallel loop reduction`` clause
+(so the gang-distributed loop exercises cross-gang combination).  Floating
+comparisons use the paper's 1e-9 rounding tolerance (Fig. 7).  The cross
+run removes the clause: the scalar then defaults to gang-firstprivate and
+the host value never changes, which must differ from the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.suite.builders import check, template_text
+
+
+@dataclass(frozen=True)
+class _OpSpec:
+    key: str            # feature leaf: add/mul/max/min/bitand/...
+    c_op: str           # clause spelling in C
+    f_op: str           # clause spelling in Fortran
+    c_combine: str      # C statement combining v with d[i]
+    c_host: str         # C statement combining expected with d[i]
+    f_combine: str      # Fortran statement combining v with d(i)
+    f_host: str         # Fortran statement for the oracle
+    c_data: str         # C expression for d[i]
+    f_data: str         # Fortran expression for d(i)
+    v0: str             # initial value (used in both languages)
+    n: int = 64
+
+
+_INT_OPS: List[_OpSpec] = [
+    _OpSpec("add", "+", "+",
+            "v = v + d[i];", "expected = expected + d[i];",
+            "v = v + d(i)", "expected = expected + d(i)",
+            "(i % 7) + 1", "mod(i, 7) + 1", "3"),
+    _OpSpec("mul", "*", "*",
+            "v = v * d[i];", "expected = expected * d[i];",
+            "v = v * d(i)", "expected = expected * d(i)",
+            "(i % 2) + 1", "mod(i, 2) + 1", "1", n=12),
+    _OpSpec("max", "max", "max",
+            "v = (d[i] > v) ? d[i] : v;",
+            "expected = (d[i] > expected) ? d[i] : expected;",
+            "v = max(v, d(i))", "expected = max(expected, d(i))",
+            "(i * 37) % 101 - 50", "mod(i * 37, 101) - 50", "-100"),
+    _OpSpec("min", "min", "min",
+            "v = (d[i] < v) ? d[i] : v;",
+            "expected = (d[i] < expected) ? d[i] : expected;",
+            "v = min(v, d(i))", "expected = min(expected, d(i))",
+            "(i * 37) % 101 - 50", "mod(i * 37, 101) - 50", "100"),
+    _OpSpec("bitand", "&", "iand",
+            "v = v & d[i];", "expected = expected & d[i];",
+            "v = iand(v, d(i))", "expected = iand(expected, d(i))",
+            "65535 - (1 << (i % 8))", "65535 - 2 ** mod(i, 8)", "65535"),
+    _OpSpec("bitor", "|", "ior",
+            "v = v | d[i];", "expected = expected | d[i];",
+            "v = ior(v, d(i))", "expected = ior(expected, d(i))",
+            "1 << (i % 12)", "2 ** mod(i, 12)", "0"),
+    _OpSpec("bitxor", "^", "ieor",
+            "v = v ^ d[i];", "expected = expected ^ d[i];",
+            "v = ieor(v, d(i))", "expected = ieor(expected, d(i))",
+            "1 << (i % 5)", "2 ** mod(i, 5)", "0"),
+    _OpSpec("logand", "&&", ".and.",
+            "v = v && d[i];", "expected = expected && d[i];",
+            "v = merge(1, 0, v == 1 .and. d(i) == 1)",
+            "expected = merge(1, 0, expected == 1 .and. d(i) == 1)",
+            "(i != 37)", "merge(1, 0, i /= 37)", "1"),
+    _OpSpec("logor", "||", ".or.",
+            "v = v || d[i];", "expected = expected || d[i];",
+            "v = merge(1, 0, v == 1 .or. d(i) == 1)",
+            "expected = merge(1, 0, expected == 1 .or. d(i) == 1)",
+            "(i == 37)", "merge(1, 0, i == 37)", "0"),
+]
+
+_FLOAT_OPS: List[_OpSpec] = [
+    _OpSpec("add", "+", "+",
+            "v = v + d[i];", "expected = expected + d[i];",
+            "v = v + d(i)", "expected = expected + d(i)",
+            "pow(0.5, i % 20)", "0.5 ** mod(i, 20)", "0.0", n=20),
+    _OpSpec("mul", "*", "*",
+            "v = v * d[i];", "expected = expected * d[i];",
+            "v = v * d(i)", "expected = expected * d(i)",
+            "0.5 + (i % 3) * 0.25", "0.5 + mod(i, 3) * 0.25", "1.0", n=12),
+    _OpSpec("max", "max", "max",
+            "v = (d[i] > v) ? d[i] : v;",
+            "expected = (d[i] > expected) ? d[i] : expected;",
+            "v = max(v, d(i))", "expected = max(expected, d(i))",
+            "((i * 7) % 19) * 0.5 - 4.0", "mod(i * 7, 19) * 0.5 - 4.0",
+            "-1000.0"),
+    _OpSpec("min", "min", "min",
+            "v = (d[i] < v) ? d[i] : v;",
+            "expected = (d[i] < expected) ? d[i] : expected;",
+            "v = min(v, d(i))", "expected = min(expected, d(i))",
+            "((i * 7) % 19) * 0.5 - 4.0", "mod(i * 7, 19) * 0.5 - 4.0",
+            "1000.0"),
+]
+
+
+def templates() -> List[str]:
+    out: List[str] = []
+    for spec in _INT_OPS:
+        out.append(_c_template("int", spec))
+        out.append(_f_template("integer", spec))
+    for ctype, ftype in (("float", "real"), ("double", "doubleprecision")):
+        for spec in _FLOAT_OPS:
+            out.append(_c_template(ctype, spec))
+            out.append(_f_template(ftype, spec))
+    return out
+
+
+def _feature(type_name: str, spec: _OpSpec) -> str:
+    base = {"int": "int", "integer": "int",
+            "float": "float", "real": "float",
+            "double": "double", "doubleprecision": "double"}[type_name]
+    return f"loop.reduction.{base}_{spec.key}"
+
+
+def _c_template(ctype: str, spec: _OpSpec) -> str:
+    feature = _feature(ctype, spec)
+    leaf = feature.rsplit(".", 1)[-1]
+    if ctype == "int":
+        compare = "if (v != expected) error++;"
+    else:
+        fn = "fabsf" if ctype == "float" else "fabs"
+        compare = f"if ({fn}(v - expected) > 1.0E-9) error++;"
+    code = f"""
+int main() {{
+  int i, error = 0;
+  int n = {spec.n};
+  {ctype} v, expected;
+  {ctype} d[{spec.n}];
+  for(i=0; i<n; i++) d[i] = {spec.c_data};
+  expected = {spec.v0};
+  for(i=0; i<n; i++) {{
+    {spec.c_host}
+  }}
+  v = {spec.v0};
+  #pragma acc parallel loop {check(f"reduction({spec.c_op}:v)")} copyin(d[0:n])
+  for(i=0; i<n; i++)
+    {spec.c_combine}
+  {compare}
+  return (error == 0);
+}}
+"""
+    return template_text(
+        name=f"loop_reduction_{leaf}.c",
+        feature=feature,
+        language="c",
+        description=f"{ctype} {spec.c_op} reduction against a host-computed "
+                    "oracle (IV-C4); without the clause the scalar stays "
+                    "gang-firstprivate and keeps its initial value.",
+        dependences=["parallel loop", "parallel.copyin"],
+        code=code,
+    )
+
+
+def _f_template(ftype: str, spec: _OpSpec) -> str:
+    feature = _feature(ftype, spec)
+    leaf = feature.rsplit(".", 1)[-1]
+    decl_type = {"integer": "integer", "real": "real",
+                 "doubleprecision": "double precision"}[ftype]
+    if ftype == "integer":
+        compare = "if (v /= expected) err = err + 1"
+    else:
+        compare = "if (abs(v - expected) > 1.0e-9) err = err + 1"
+    code = f"""
+program test_red_{leaf}
+  implicit none
+  integer :: i, err, n
+  {decl_type} :: v, expected
+  {decl_type} :: d({spec.n})
+  err = 0
+  n = {spec.n}
+  do i = 1, n
+    d(i) = {spec.f_data}
+  end do
+  expected = {spec.v0}
+  do i = 1, n
+    {spec.f_host}
+  end do
+  v = {spec.v0}
+  !$acc parallel loop {check(f"reduction({spec.f_op}:v)")} copyin(d(1:n))
+  do i = 1, n
+    {spec.f_combine}
+  end do
+  !$acc end parallel loop
+  {compare}
+  if (err == 0) main = 1
+end program test_red_{leaf}
+"""
+    return template_text(
+        name=f"loop_reduction_{leaf}.f",
+        feature=feature,
+        language="fortran",
+        description=f"Fortran {spec.f_op} reduction on {decl_type} data "
+                    "against a host oracle (IV-C4).",
+        dependences=["parallel loop", "parallel.copyin"],
+        code=code,
+    )

@@ -1,0 +1,37 @@
+"""Template-based test generation (paper Section III, Fig. 3).
+
+A test template is "written following an html syntax structure that includes
+the OpenACC directive/clause to be tested"; the infrastructure parses it and
+generates the *functional* and *cross* test programs.  The tag vocabulary
+follows the OpenMP validation suite lineage the authors adapted ([7], [8]):
+
+* ``<acctv:test> ... </acctv:test>`` — the template root;
+* header tags: ``<acctv:testdescription>``, ``<acctv:directive>`` (the
+  dotted feature id), ``<acctv:language>``, ``<acctv:version>``,
+  ``<acctv:dependences>``;
+* ``<acctv:testcode>`` — a complete standalone program, with inline markers:
+
+  - ``<acctv:check>...</acctv:check>`` — emitted only in the functional
+    test (typically the directive/clause under test);
+  - ``<acctv:crosscheck>...</acctv:crosscheck>`` — emitted only in the
+    cross test (the removed/substituted variant whose result must be
+    *wrong* for the feature to be validated).
+
+``{{NAME}}`` placeholders are substituted from template defaults merged
+with caller parameters, so one template covers a family of sizes.
+"""
+
+from repro.templates.model import GeneratedTest, TestTemplate, TemplateError
+from repro.templates.parser import parse_template
+from repro.templates.generator import (
+    generate,
+    generate_cross,
+    generate_functional,
+    generate_pair,
+)
+
+__all__ = [
+    "GeneratedTest", "TestTemplate", "TemplateError",
+    "parse_template",
+    "generate", "generate_cross", "generate_functional", "generate_pair",
+]

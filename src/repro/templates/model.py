@@ -1,0 +1,53 @@
+"""Template data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class TemplateError(Exception):
+    """Malformed template text."""
+
+
+@dataclass
+class TestTemplate:
+    """A parsed test template.
+
+    ``feature`` is the dotted id from :mod:`repro.spec.features`
+    (e.g. ``parallel.num_gangs``); ``code`` retains the inline
+    check/crosscheck markers, which generation resolves.
+    """
+
+    name: str
+    feature: str
+    language: str  # 'c' | 'fortran'
+    code: str
+    description: str = ""
+    version: str = "1.0"
+    dependences: List[str] = field(default_factory=list)
+    defaults: Dict[str, str] = field(default_factory=dict)
+    #: what a *correct* implementation produces on the cross run:
+    #: 'different' (the normal case: removing the directive must change the
+    #: result) or 'same' (scheduling-only clauses whose removal legitimately
+    #: preserves results — the paper reports such crosses as inconclusive
+    #: rather than failures)
+    crossexpect: str = "different"
+    #: ACC_* variables the harness must set when running this test
+    environment: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def has_cross(self) -> bool:
+        return "<acctv:check>" in self.code or "<acctv:crosscheck>" in self.code
+
+
+@dataclass
+class GeneratedTest:
+    """A standalone generated program (one mode of one template)."""
+
+    name: str
+    feature: str
+    language: str
+    mode: str  # 'functional' | 'cross'
+    source: str
+    template: Optional[TestTemplate] = None

@@ -1,0 +1,44 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import Compiler, CompilerBehavior
+from repro.harness import HarnessConfig, ValidationRunner
+from repro.spec.versions import ACC_20
+from repro.suite import openacc10_suite, openacc20_suite
+
+
+@pytest.fixture(scope="session")
+def reference_compiler() -> Compiler:
+    return Compiler()
+
+
+@pytest.fixture(scope="session")
+def compiler20() -> Compiler:
+    return Compiler(CompilerBehavior(name="reference", version="2.0",
+                                     spec_version=ACC_20))
+
+
+@pytest.fixture(scope="session")
+def suite10():
+    return openacc10_suite()
+
+
+@pytest.fixture(scope="session")
+def suite20():
+    return openacc20_suite()
+
+
+@pytest.fixture()
+def quick_runner() -> ValidationRunner:
+    return ValidationRunner(config=HarnessConfig(iterations=1))
+
+
+def run_c(compiler: Compiler, source: str, env_vars=None):
+    return compiler.compile(source, "c").run(env_vars=env_vars)
+
+
+def run_f(compiler: Compiler, source: str, env_vars=None):
+    return compiler.compile(source, "fortran").run(env_vars=env_vars)

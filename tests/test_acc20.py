@@ -1,0 +1,89 @@
+"""Tests for the forward-looking OpenACC 2.0 support (Section V-C)."""
+
+import pytest
+
+from repro.accsim.errors import AccRuntimeError
+from repro.compiler import CompileError
+from repro.templates import generate_cross, generate_functional
+
+
+class TestSuite20:
+    def test_scope(self, suite20):
+        features = set(suite20.features())
+        assert {"enter data", "exit data", "routine",
+                "parallel.default_none"} <= features
+
+    def test_functionals_pass_on_20_compiler(self, suite20, compiler20):
+        for template in suite20:
+            generated = generate_functional(template)
+            result = compiler20.compile(
+                generated.source, template.language, template.name
+            ).run()
+            assert result.value == 1, template.name
+
+    def test_rejected_by_10_compiler(self, suite20, reference_compiler):
+        for template in suite20:
+            generated = generate_functional(template)
+            with pytest.raises(CompileError):
+                reference_compiler.compile(
+                    generated.source, template.language, template.name
+                )
+
+    def test_crosses_fail_on_20_compiler(self, suite20, compiler20):
+        for template in suite20:
+            if not template.has_cross:
+                continue
+            generated = generate_cross(template)
+            try:
+                result = compiler20.compile(
+                    generated.source, template.language, template.name
+                ).run()
+                outcome = "pass" if result.value == 1 else "wrong"
+            except (CompileError, AccRuntimeError):
+                outcome = "wrong"
+            assert outcome == "wrong", template.name
+
+
+class TestUnstructuredData:
+    def test_enter_exit_lifetime(self, compiler20):
+        src = """
+int main(){
+  int i, a[6];
+  for(i=0;i<6;i++) a[i] = i;
+  #pragma acc enter data copyin(a[0:6])
+  #pragma acc parallel loop present(a[0:6])
+  for(i=0;i<6;i++) a[i] *= 2;
+  #pragma acc exit data copyout(a[0:6])
+  return a[5] == 10;
+}
+"""
+        assert compiler20.compile(src, "c").run().value == 1
+
+    def test_exit_data_delete_discards(self, compiler20):
+        src = """
+int main(){
+  int i, a[6];
+  for(i=0;i<6;i++) a[i] = 1;
+  #pragma acc enter data copyin(a[0:6])
+  #pragma acc parallel loop present(a[0:6])
+  for(i=0;i<6;i++) a[i] = 9;
+  #pragma acc exit data delete(a[0:6])
+  return a[0] == 1;
+}
+"""
+        assert compiler20.compile(src, "c").run().value == 1
+
+    def test_enter_data_if_false(self, compiler20):
+        src = """
+int main(){
+  int i, a[6];
+  #pragma acc enter data if (0) copyin(a[0:6])
+  #pragma acc parallel loop present(a[0:6])
+  for(i=0;i<6;i++) a[i] = 0;
+  return 1;
+}
+"""
+        from repro.accsim.errors import PresentError
+
+        with pytest.raises(PresentError):
+            compiler20.compile(src, "c").run()

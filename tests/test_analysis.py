@@ -1,0 +1,58 @@
+"""Tests for the analysis layer (pass-rate sweeps, bug counting)."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    run_vendor_version,
+    table1_counts,
+    vendor_pass_rates,
+)
+from repro.compiler.vendors import vendor_version
+from repro.harness import HarnessConfig
+
+
+class TestTable1:
+    def test_transcription_shape(self):
+        assert set(PAPER_TABLE1) == {"caps", "pgi", "cray"}
+        for versions in PAPER_TABLE1.values():
+            assert len(versions) == 8
+
+    def test_rows_expose_paper_comparison(self):
+        rows = table1_counts("cray")
+        assert all(r.matches_paper for r in rows)
+        assert rows[0].paper_counts == (16, 6)
+
+
+class TestPassRateSweeps:
+    def test_single_point(self, suite10):
+        vv = vendor_version("caps", "3.3.4")
+        point = run_vendor_version(
+            vv, "c", suite10, HarnessConfig(iterations=1, run_cross=False)
+        )
+        assert point.pass_rate == 100.0
+        assert point.tests == len(suite10.for_language("c"))
+        assert point.failures == 0
+
+    def test_failures_complement_pass_rate(self, suite10):
+        vv = vendor_version("cray", "8.1.2")
+        point = run_vendor_version(
+            vv, "c", suite10, HarnessConfig(iterations=1, run_cross=False)
+        )
+        expected_rate = 100.0 * (point.tests - point.failures) / point.tests
+        assert point.pass_rate == pytest.approx(expected_rate)
+        assert point.failures >= vv.bug_count("c") - 2  # latent bugs allowed
+
+    def test_vendor_sweep_structure(self, suite10):
+        rates = vendor_pass_rates(
+            "cray", suite10,
+            HarnessConfig(iterations=1, run_cross=False),
+            languages=("fortran",),
+        )
+        series = rates["fortran"]
+        assert [p.version for p in series] == [
+            "8.1.2", "8.1.3", "8.1.4", "8.1.5", "8.1.6", "8.1.7", "8.1.8",
+            "8.2.0",
+        ]
+        # Fortran gains exactly the 8.1.7 fix
+        assert series[5].pass_rate >= series[4].pass_rate

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListCommands:
+    def test_list_features(self, capsys):
+        assert main(["list-features"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel.num_gangs" in out
+        assert "runtime.acc_malloc" in out
+
+    def test_list_vendors(self, capsys):
+        assert main(["list-vendors"]) == 0
+        out = capsys.readouterr().out
+        assert "caps" in out and "pgi" in out and "cray" in out
+        assert "C bugs:  36" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("matches paper: True") == 3
+
+
+class TestGenerate:
+    def test_generate_both_modes(self, capsys):
+        assert main(["generate", "loop", "--language", "c"]) == 0
+        out = capsys.readouterr().out
+        assert "functional test" in out and "cross test" in out
+        assert "#pragma acc parallel" in out
+
+    def test_generate_fortran(self, capsys):
+        assert main(["generate", "loop", "--language", "fortran",
+                     "--mode", "functional"]) == 0
+        out = capsys.readouterr().out
+        assert "!$acc parallel" in out
+
+    def test_generate_unknown_feature(self, capsys):
+        assert main(["generate", "no.such.feature"]) == 1
+
+
+class TestValidate:
+    def test_validate_reference_slice(self, capsys):
+        code = main(["validate", "--features", "wait", "--language", "c",
+                     "--iterations", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "100.00% pass" in out
+
+    def test_validate_vendor_exit_code(self, capsys):
+        code = main(["validate", "--vendor", "cray", "--version", "8.1.2",
+                     "--language", "c", "--iterations", "1", "--no-cross",
+                     "--features", "cache"])
+        assert code == 2  # failures present
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+
+    def test_validate_csv_format(self, capsys):
+        main(["validate", "--features", "wait", "--language", "c",
+              "--iterations", "1", "--format", "csv"])
+        out = capsys.readouterr().out
+        assert out.startswith("feature,language,result")
+
+    def test_validate_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.html"
+        main(["validate", "--features", "wait", "--language", "c",
+              "--iterations", "1", "--format", "html",
+              "--output", str(target)])
+        assert target.exists()
+        assert target.read_text().startswith("<!DOCTYPE html>")
+
+    def test_vendor_requires_version(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["validate", "--vendor", "pgi"])
+
+
+class TestTitanCommand:
+    def test_titan_sweep(self, capsys):
+        assert main(["titan", "--nodes", "6", "--sample", "2",
+                     "--degraded", "0.34"]) == 0
+        out = capsys.readouterr().out
+        assert "node" in out and "checks flagged" in out

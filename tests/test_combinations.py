@@ -1,0 +1,85 @@
+"""Tests for the feature-combination suite (Section IX future work)."""
+
+import pytest
+
+from repro.accsim.errors import AccRuntimeError
+from repro.compiler import Compiler, CompileError, CompilerBehavior
+from repro.harness import HarnessConfig, ValidationRunner
+from repro.suite import combination_suite
+from repro.templates import generate_cross, generate_functional
+
+_SUITE = combination_suite()
+_CC = Compiler()
+
+
+@pytest.mark.parametrize("template", list(_SUITE), ids=lambda t: t.name)
+def test_combination_functional_passes(template):
+    generated = generate_functional(template)
+    result = _CC.compile(generated.source, template.language, template.name).run()
+    assert result.value == 1, template.name
+
+
+@pytest.mark.parametrize(
+    "template", [t for t in _SUITE if t.has_cross], ids=lambda t: t.name
+)
+def test_combination_cross_behaves(template):
+    generated = generate_cross(template)
+    try:
+        result = _CC.compile(
+            generated.source, template.language, template.name
+        ).run()
+        outcome = "pass" if result.value == 1 else "wrong"
+    except (CompileError, AccRuntimeError):
+        outcome = "wrong"
+    if template.crossexpect == "different":
+        assert outcome == "wrong", template.name
+    else:
+        assert outcome == "pass", template.name
+
+
+class TestCombinationScope:
+    def test_corpus_size(self):
+        assert len(_SUITE) == 20  # ten designs x two languages
+
+    def test_each_design_names_multiple_features(self):
+        """Combination tests exist to exercise feature interactions."""
+        for template in _SUITE:
+            assert len(template.dependences) >= 2, template.name
+
+    def test_registry_is_separate_from_base_corpus(self):
+        from repro.suite import openacc10_suite
+
+        base = {t.name for t in openacc10_suite()}
+        combo = {t.name for t in _SUITE}
+        assert not base & combo
+
+
+class TestCombinationsDetectInteractionBugs:
+    """The combination slice must catch bugs that only bite when features
+    interact — run against representative buggy behaviours."""
+
+    def _run(self, behavior):
+        config = HarnessConfig(iterations=1, run_cross=False)
+        return ValidationRunner(behavior, config).run_suite(_SUITE)
+
+    def test_async_wedge_breaks_if_async_combo(self):
+        behavior = CompilerBehavior(async_wedged_by_compute_data_clauses=True)
+        report = self._run(behavior)
+        assert "parallel.if" in report.failed_features()  # combo_if_async
+
+    def test_update_ignored_breaks_hostdata_combo(self):
+        report = self._run(CompilerBehavior(ignore_update=True))
+        failing = set(report.failed_features())
+        assert "update.host" in failing      # combo_hostdata_update
+        assert "update.device" in failing    # combo_declare_update_device
+
+    def test_broken_add_reduction_breaks_three_combos(self):
+        report = self._run(CompilerBehavior(broken_reductions=frozenset({"+"})))
+        failing = set(report.failed_features())
+        assert "loop.reduction.int_add" in failing
+        assert "parallel.firstprivate" in failing
+        assert "loop.collapse" in failing
+
+    def test_clean_reference_passes_all(self):
+        report = self._run(CompilerBehavior())
+        assert report.pass_rate() == 100.0

@@ -1,0 +1,146 @@
+"""Focused tests for the shared directive/clause parser across both
+surface syntaxes."""
+
+import pytest
+
+from repro.frontend.errors import ParseError
+from repro.ir import Binary, IntLit, walk
+from repro.ir.acc import normalize_clause_name
+
+
+def c_directive(text: str):
+    from repro.frontend.directives import DirectiveParser
+    from repro.frontend.tokens import TokenStream
+    from repro.minic.lexer import tokenize
+    from repro.minic.parser import CParser
+
+    parser = CParser(tokenize("int main(){return 0;}"))
+    ts = TokenStream(tokenize(text))
+    return parser._directive_parser.parse(ts, source=text)
+
+
+def f_directive(text: str):
+    from repro.frontend.tokens import TokenKind, TokenStream
+    from repro.minifort.lexer import tokenize
+    from repro.minifort.parser import FortranParser
+
+    parser = FortranParser(tokenize("program t\nend program t\n"))
+    toks = [t for t in tokenize(text) if t.kind is not TokenKind.NEWLINE]
+    return parser._directive_parser.parse(TokenStream(toks), source=text)
+
+
+class TestKinds:
+    def test_multiword_kinds(self):
+        assert c_directive("parallel loop").kind == "parallel loop"
+        assert c_directive("kernels loop").kind == "kernels loop"
+        assert c_directive("enter data copyin(a[0:4])").kind == "enter data"
+
+    def test_single_kinds(self):
+        for kind in ("parallel", "kernels", "data", "host_data", "loop",
+                     "declare", "update"):
+            assert c_directive(kind).kind == kind
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ParseError):
+            c_directive("warp_speed")
+
+
+class TestClauseForms:
+    def test_bare_wait(self):
+        d = c_directive("wait")
+        assert d.kind == "wait" and not d.clauses
+
+    def test_wait_with_tag(self):
+        d = c_directive("wait(7)")
+        assert d.clause("wait").expr.value == 7
+
+    def test_cache_argument(self):
+        d = c_directive("cache(a[0:16])")
+        ref = d.clause("cache").refs[0]
+        assert ref.name == "a" and ref.sections[0].length.value == 16
+
+    def test_async_bare_and_with_expr(self):
+        assert c_directive("parallel async").clause("async").expr is None
+        assert c_directive("parallel async(t)").clause("async").expr is not None
+
+    def test_gang_with_count(self):
+        d = c_directive("loop gang(4)")
+        assert d.clause("gang").expr.value == 4
+
+    def test_multiple_refs_and_clauses(self):
+        d = c_directive("parallel copy(a[0:4], b[0:4]) copyin(c[0:4]) if(x)")
+        assert d.clause("copy").var_names == ["a", "b"]
+        assert d.clause("copyin").var_names == ["c"]
+        assert d.clause("if") is not None
+
+    def test_comma_separated_clauses(self):
+        # Fortran style allows commas between clauses
+        d = f_directive("parallel copy(a(1:4)), num_gangs(2)")
+        assert d.clause("copy") is not None
+        assert d.clause("num_gangs") is not None
+
+    def test_reduction_operator_forms(self):
+        for op in ("+", "*", "max", "min", "&&", "||", "&", "|", "^"):
+            d = c_directive(f"loop reduction({op}:s)")
+            assert d.clause("reduction").op == op
+
+    def test_fortran_reduction_spellings(self):
+        for op in (".and.", ".or.", "iand", "ior", "ieor", "max"):
+            d = f_directive(f"loop reduction({op}:s)")
+            assert d.clause("reduction").op == op
+
+    def test_default_clause(self):
+        d = c_directive("parallel default(none)")
+        assert d.clause("default").op == "none"
+
+    def test_unknown_clause_raises(self):
+        with pytest.raises(ParseError):
+            c_directive("parallel sideways(3)")
+
+
+class TestSections:
+    def test_c_start_length(self):
+        d = c_directive("data copy(a[3:9])")
+        section = d.clause("copy").refs[0].sections[0]
+        assert section.start.value == 3 and section.length.value == 9
+
+    def test_c_multidim_sections(self):
+        d = c_directive("data copy(m[0:4][0:8])")
+        assert len(d.clause("copy").refs[0].sections) == 2
+
+    def test_fortran_lo_hi_normalised(self):
+        d = f_directive("data copy(a(2:7))")
+        section = d.clause("copy").refs[0].sections[0]
+        assert section.start.value == 2
+        # length is built as (7 - 2) + 1
+        assert isinstance(section.length, Binary)
+
+    def test_fortran_single_element(self):
+        d = f_directive("data copy(a(5))")
+        section = d.clause("copy").refs[0].sections[0]
+        assert section.start.value == 5
+        assert section.length.value == 1
+
+    def test_bare_scalar_ref(self):
+        d = c_directive("data copy(flag)")
+        assert not d.clause("copy").refs[0].sections
+
+
+class TestAliases:
+    def test_pcopy_family(self):
+        assert normalize_clause_name("pcopy") == "present_or_copy"
+        assert normalize_clause_name("pcopyin") == "present_or_copyin"
+        assert normalize_clause_name("pcopyout") == "present_or_copyout"
+        assert normalize_clause_name("pcreate") == "present_or_create"
+
+    def test_update_self_alias(self):
+        d = c_directive("update self(a[0:4])")
+        assert d.clause("host") is not None
+
+    def test_without_clause_helper(self):
+        d = c_directive("parallel copy(a[0:4]) async(1)")
+        stripped = d.without_clause("async")
+        assert stripped.clause("async") is None
+        assert stripped.clause("copy") is not None
+        # the original is untouched
+        assert d.clause("async") is not None

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "100.00% pass" in proc.stdout
+        assert "certainty" in proc.stdout
+
+    def test_write_a_test(self):
+        proc = run_example("write_a_test.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "certainty pc = 100.0%" in proc.stdout
+        assert "FAIL [wrong_value]" in proc.stdout
+
+    def test_spec_ambiguities(self):
+        proc = run_example("spec_ambiguities.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "num_gangs(4): each element incremented 4 time(s)" in proc.stdout
+        assert "acc_device_cuda" in proc.stdout
+
+    def test_titan_production(self):
+        proc = run_example("titan_production.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "FLAGGED" in proc.stdout
+        assert "bad CUDA-stack rollout" in proc.stdout
+
+    def test_compiler_evolution(self):
+        proc = run_example("compiler_evolution.py", "cray")
+        assert proc.returncode == 0, proc.stderr
+        assert "CRAY — c" in proc.stdout or "CRAY" in proc.stdout
+        assert "features still failing" in proc.stdout
+
+    def test_validate_vendor(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "validate_vendor.py"),
+             "caps", "3.2.3"],
+            capture_output=True, text=True, timeout=420, cwd=tmp_path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "99.0% pass" in proc.stdout
+        assert (tmp_path / "reports" / "caps-3.2.3-c.html").exists()
+        assert (tmp_path / "reports" / "caps-3.2.3-fortran-bugs.txt").exists()

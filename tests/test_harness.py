@@ -1,0 +1,204 @@
+"""Tests for the harness: stats model, runner pipeline, reports."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compiler import CompilerBehavior
+from repro.harness import (
+    FailureKind,
+    HarnessConfig,
+    ValidationRunner,
+    accidental_pass_probability,
+    certainty,
+    cross_fail_probability,
+    render_bug_report,
+    render_csv,
+    render_html,
+    render_text,
+)
+from repro.suite import openacc10_suite
+from repro.templates import parse_template
+from repro.suite.builders import check, template_text
+
+
+class TestStats:
+    def test_paper_formulas(self):
+        # nf = M (every cross run fails) -> full certainty
+        assert certainty(3, 3) == 1.0
+        # nf = 0 -> no certainty
+        assert certainty(0, 3) == 0.0
+        assert accidental_pass_probability(0, 3) == 1.0
+
+    def test_partial_certainty(self):
+        # p = 1/2, M = 2 -> pa = 0.25, pc = 0.75
+        assert cross_fail_probability(1, 2) == 0.5
+        assert accidental_pass_probability(1, 2) == 0.25
+        assert certainty(1, 2) == 0.75
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cross_fail_probability(1, 0)
+        with pytest.raises(ValueError):
+            cross_fail_probability(5, 3)
+
+    @given(st.integers(1, 60))
+    def test_full_failure_always_certain(self, m):
+        assert certainty(m, m) == 1.0
+
+    @given(st.integers(1, 60), st.data())
+    def test_certainty_monotone_in_nf(self, m, data):
+        nf = data.draw(st.integers(0, m - 1))
+        assert certainty(nf, m) <= certainty(nf + 1, m)
+
+    @given(st.integers(0, 30), st.integers(1, 30))
+    def test_probability_bounds(self, nf, m):
+        if nf > m:
+            return
+        pc = certainty(nf, m)
+        assert 0.0 <= pc <= 1.0
+
+
+def _template(code: str, **kwargs) -> object:
+    args = dict(name="t.c", feature="loop", language="c", code=code)
+    args.update(kwargs)
+    return parse_template(template_text(**args))
+
+
+class TestRunnerPipeline:
+    def test_pass_with_conclusive_cross(self):
+        tpl = _template(
+            "int main(){ int i, a[8];\n"
+            "for(i=0;i<8;i++) a[i]=0;\n"
+            "#pragma acc parallel num_gangs(4) copy(a[0:8])\n"
+            "{\n" + check("#pragma acc loop") + "\n"
+            "for(i=0;i<8;i++) a[i]++;\n}\n"
+            "return a[0] == 1; }"
+        )
+        result = ValidationRunner(config=HarnessConfig(iterations=3)).run_template(tpl)
+        assert result.passed
+        assert result.cross_conclusive is True
+        assert result.certainty == 1.0
+
+    def test_wrong_value_classified(self):
+        tpl = _template("int main(){ return 0; }")
+        result = ValidationRunner().run_template(tpl)
+        assert not result.passed
+        assert result.failure_kind is FailureKind.WRONG_VALUE
+
+    def test_compile_error_classified_and_cross_skipped(self):
+        tpl = _template("int main(){ syntax error here }")
+        result = ValidationRunner().run_template(tpl)
+        assert result.failure_kind is FailureKind.COMPILE_ERROR
+        assert result.cross is None
+
+    def test_runtime_crash_classified(self):
+        tpl = _template("int main(){ int z = 0; return 1 / z; }")
+        result = ValidationRunner().run_template(tpl)
+        assert result.failure_kind is FailureKind.RUNTIME_CRASH
+
+    def test_timeout_classified(self):
+        tpl = _template("int main(){ int x = 1; while (x) x = 1; return 0; }")
+        runner = ValidationRunner(config=HarnessConfig(iterations=1, max_steps=2000))
+        result = runner.run_template(tpl)
+        assert result.failure_kind is FailureKind.TIMEOUT
+
+    def test_unexpected_inconclusive_cross_flagged(self):
+        # removing this "directive" changes nothing -> inconclusive
+        tpl = _template(
+            "int main(){ int x = 1; " + check("x = 1;") + " return x; }"
+        )
+        result = ValidationRunner().run_template(tpl)
+        assert result.passed
+        assert result.cross_inconclusive_unexpectedly
+
+    def test_expected_same_cross_not_flagged(self):
+        tpl = _template(
+            "int main(){ int x = 1; " + check("x = 1;") + " return x; }",
+            crossexpect="same",
+        )
+        result = ValidationRunner().run_template(tpl)
+        assert result.passed
+        assert not result.cross_inconclusive_unexpectedly
+
+    def test_cross_disabled_by_config(self):
+        tpl = _template(
+            "int main(){ int x = 0; " + check("x = 1;") + " return x; }"
+        )
+        runner = ValidationRunner(config=HarnessConfig(run_cross=False))
+        result = runner.run_template(tpl)
+        assert result.cross is None and result.certainty == 0.0
+
+    def test_environment_passed_to_runs(self):
+        tpl = _template(
+            "int main(){ return acc_get_device_type() == acc_device_host; }",
+            environment={"ACC_DEVICE_TYPE": "HOST"},
+        )
+        result = ValidationRunner().run_template(tpl)
+        assert result.passed
+
+    def test_suite_selection_by_prefix(self):
+        suite = openacc10_suite()
+        config = HarnessConfig(iterations=1, run_cross=False,
+                               feature_prefixes=["update"], languages=("c",))
+        report = ValidationRunner(config=config).run_suite(suite)
+        assert report.results
+        assert all(r.feature.startswith("update") for r in report.results)
+
+    def test_suite_selection_by_language(self):
+        suite = openacc10_suite()
+        config = HarnessConfig(iterations=1, run_cross=False,
+                               languages=("fortran",),
+                               feature_prefixes=["wait"])
+        report = ValidationRunner(config=config).run_suite(suite)
+        assert report.results
+        assert all(r.language == "fortran" for r in report.results)
+
+    def test_report_aggregations(self):
+        suite = openacc10_suite()
+        config = HarnessConfig(iterations=1, run_cross=False,
+                               feature_prefixes=["host_data"])
+        buggy = CompilerBehavior(
+            name="buggy", version="0",
+            unsupported_clauses=frozenset({("host_data", "use_device")}),
+        )
+        report = ValidationRunner(buggy, config).run_suite(suite)
+        assert report.pass_rate() == 0.0
+        assert report.failed_features().count("host_data.use_device") == 2
+        kinds = report.by_failure_kind()
+        assert kinds[FailureKind.COMPILE_ERROR] == 2
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def sample_report(self):
+        suite = openacc10_suite()
+        config = HarnessConfig(iterations=2, feature_prefixes=["loop"],
+                               languages=("c",))
+        behavior = CompilerBehavior(name="demo", version="1",
+                                    broken_reductions=frozenset({"+"}))
+        return ValidationRunner(behavior, config).run_suite(suite)
+
+    def test_text_report(self, sample_report):
+        text = render_text(sample_report)
+        assert "demo 1" in text
+        assert "PASS" in text and "FAIL" in text
+        assert "%" in text
+
+    def test_csv_report(self, sample_report):
+        csv = render_csv(sample_report)
+        lines = csv.strip().split("\n")
+        assert lines[0].startswith("feature,language,result")
+        assert len(lines) == len(sample_report.results) + 1
+
+    def test_html_report(self, sample_report):
+        html = render_html(sample_report)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "demo 1" in html
+        assert "<table>" in html
+
+    def test_bug_report_snippets(self, sample_report):
+        bug_report = render_bug_report(sample_report)
+        assert "Bug report" in bug_report
+        # failing reduction tests should include generated code snippets
+        assert "reduction" in bug_report
+        assert "#pragma acc" in bug_report

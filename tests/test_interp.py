@@ -1,0 +1,283 @@
+"""Tests for the host interpreter: expression semantics, statements,
+functions, builtins, and execution limits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accsim.errors import AccRuntimeError, ExecutionTimeout
+from repro.compiler import Compiler, ExecutionLimits
+
+
+CC = Compiler()
+
+
+def run_c(body: str, env_vars=None, limits=None):
+    src = "int main() {\n" + body + "\n}"
+    return CC.compile(src, "c").run(env_vars=env_vars, limits=limits)
+
+
+def run_f(body: str, decls: str = ""):
+    src = f"program t\n{decls}\n{body}\nend program t\n"
+    return CC.compile(src, "fortran").run()
+
+
+class TestCArithmetic:
+    def test_truncating_division(self):
+        assert run_c("return (7 / 2 == 3) && (-7 / 2 == -3);").value == 1
+
+    def test_modulo_sign(self):
+        assert run_c("return (-7 % 2 == -1) && (7 % -2 == 1);").value == 1
+
+    def test_division_by_zero_crashes(self):
+        with pytest.raises(AccRuntimeError):
+            run_c("int z = 0; return 1 / z;")
+
+    def test_float_division(self):
+        assert run_c("double x = 7.0 / 2.0; return x == 3.5;").value == 1
+
+    def test_shifts_and_bitops(self):
+        assert run_c("return ((1 << 4) == 16) && ((255 & 15) == 15) && ((8 >> 2) == 2);").value == 1
+
+    def test_short_circuit_and(self):
+        # the RHS would crash if evaluated
+        assert run_c("int z = 0; return (0 && (1 / z)) == 0;").value == 1
+
+    def test_short_circuit_or(self):
+        assert run_c("int z = 0; return (1 || (1 / z)) == 1;").value == 1
+
+    def test_comparisons_yield_int(self):
+        assert run_c("return (3 < 4) + (4 <= 4) + (5 > 4) + (3 != 3);").value == 3
+
+    def test_conditional_expression(self):
+        assert run_c("int a = 5; return a > 3 ? 10 : 20;").value == 10
+
+    def test_assignment_coerces_to_int(self):
+        assert run_c("int x; x = 7.9; return x == 7;").value == 1
+
+    def test_cast(self):
+        assert run_c("return (int)(3.99) == 3;").value == 1
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 1000))
+    def test_div_mod_identity(self, a, b):
+        result = run_c(f"int a = {a}, b = {b}; return a == (a / b) * b + (a % b);")
+        assert result.value == 1
+
+
+class TestCStatements:
+    def test_loop_accumulation(self):
+        assert run_c("int i, s = 0; for(i=0;i<10;i++) s += i; return s == 45;").value == 1
+
+    def test_descending_loop(self):
+        assert run_c("int i, s = 0; for(i=9;i>=0;i--) s++; return s == 10;").value == 1
+
+    def test_break_continue(self):
+        body = """
+int i, s = 0;
+for(i=0;i<100;i++){
+  if (i == 5) break;
+  if (i % 2 == 0) continue;
+  s += i;
+}
+return s == 4;
+"""
+        assert run_c(body).value == 1
+
+    def test_while(self):
+        assert run_c("int x = 1; while (x < 100) x = x * 2; return x == 128;").value == 1
+
+    def test_nested_scopes_shadowing(self):
+        body = """
+int x = 1;
+{
+  int x = 2;
+  x = 3;
+}
+return x == 1;
+"""
+        assert run_c(body).value == 1
+
+    def test_array_fill_and_sum(self):
+        body = """
+int i, s = 0;
+int a[10];
+for(i=0;i<10;i++) a[i] = i * i;
+for(i=0;i<10;i++) s += a[i];
+return s == 285;
+"""
+        assert run_c(body).value == 1
+
+    def test_2d_array(self):
+        body = """
+int i, j, s = 0;
+int m[3][4];
+for(i=0;i<3;i++)
+  for(j=0;j<4;j++)
+    m[i][j] = i * 4 + j;
+s = m[2][3];
+return s == 11;
+"""
+        assert run_c(body).value == 1
+
+    def test_undefined_variable_crashes(self):
+        with pytest.raises(AccRuntimeError):
+            run_c("return nonexistent;")
+
+    def test_step_budget_timeout(self):
+        with pytest.raises(ExecutionTimeout):
+            run_c("int x = 1; while (x) x = 1; return 0;",
+                  limits=ExecutionLimits(max_steps=5000))
+
+
+class TestCFunctions:
+    def test_scalar_by_value(self):
+        src = """
+int bump(int x) { x = x + 1; return x; }
+int main() { int a = 1; int b = bump(a); return (a == 1) && (b == 2); }
+"""
+        assert CC.compile(src, "c").run().value == 1
+
+    def test_array_by_reference(self):
+        src = """
+void fill(int a[], int n) { int i; for(i=0;i<n;i++) a[i] = 3; }
+int main() { int a[4]; fill(a, 4); return a[2] == 3; }
+"""
+        assert CC.compile(src, "c").run().value == 1
+
+    def test_recursion(self):
+        src = """
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main() { return fact(6) == 720; }
+"""
+        assert CC.compile(src, "c").run().value == 1
+
+    def test_malloc_cast(self):
+        body = """
+int i;
+int *p;
+p = (int*)malloc(5*sizeof(int));
+for(i=0;i<5;i++) p[i] = i;
+free(p);
+return 1;
+"""
+        assert run_c(body).value == 1
+
+    def test_printf_captured(self):
+        result = run_c('printf("hello", 42); return 1;')
+        assert result.output and "42" in result.output[0]
+
+    def test_rand_deterministic_per_seed(self):
+        r1 = run_c("int a = rand(); int b = rand(); return a != b;")
+        r2 = run_c("int a = rand(); int b = rand(); return a != b;")
+        assert r1.value == 1 == r2.value
+
+    def test_math_builtins(self):
+        assert run_c("return fabs(-2.5) == 2.5 && pow(2.0, 10) == 1024.0;").value == 1
+
+
+class TestFortranSemantics:
+    def test_one_based_arrays(self):
+        assert run_f(
+            "do i = 1, 5\n  a(i) = i\nend do\nif (a(5) == 5) main = 1",
+            decls="integer :: i\ninteger :: a(5)",
+        ).value == 1
+
+    def test_custom_lower_bounds(self):
+        assert run_f(
+            "do i = 0, 4\n  a(i) = i * 2\nend do\nif (a(0) == 0 .and. a(4) == 8) main = 1",
+            decls="integer :: i\ninteger :: a(0:4)",
+        ).value == 1
+
+    def test_power_operator(self):
+        assert run_f("if (2 ** 10 == 1024) main = 1").value == 1
+
+    def test_intrinsics(self):
+        body = ("if (abs(-3) == 3 .and. max(2, 7) == 7 .and. mod(10, 3) == 1 "
+                ".and. merge(1, 2, .true.) == 1) main = 1")
+        assert run_f(body).value == 1
+
+    def test_scalar_by_reference(self):
+        src = """
+program t
+  integer :: x
+  x = 1
+  call bump(x)
+  if (x == 2) main = 1
+end program t
+
+subroutine bump(y)
+  integer :: y
+  y = y + 1
+end subroutine bump
+"""
+        assert CC.compile(src, "fortran").run().value == 1
+
+    def test_array_by_reference(self):
+        src = """
+program t
+  integer :: a(4), i
+  do i = 1, 4
+    a(i) = 0
+  end do
+  call fill(a, 4)
+  if (a(3) == 9) main = 1
+end program t
+
+subroutine fill(a, n)
+  integer :: n, i
+  integer :: a(n)
+  do i = 1, n
+    a(i) = 9
+  end do
+end subroutine fill
+"""
+        assert CC.compile(src, "fortran").run().value == 1
+
+    def test_function_return(self):
+        src = """
+program t
+  integer :: r
+  r = twice(21)
+  if (r == 42) main = 1
+end program t
+
+integer function twice(x)
+  integer :: x
+  twice = 2 * x
+end function twice
+"""
+        assert CC.compile(src, "fortran").run().value == 1
+
+    def test_do_loop_negative_step(self):
+        assert run_f(
+            "s = 0\ndo i = 10, 2, -2\n  s = s + i\nend do\nif (s == 30) main = 1",
+            decls="integer :: i, s",
+        ).value == 1
+
+    def test_integer_division_truncates(self):
+        assert run_f("if (7 / 2 == 3 .and. (-7) / 2 == -3) main = 1").value == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        src = "int main(){ return rand(); }"
+        prog = CC.compile(src, "c")
+        a = prog.run(rng_seed=7).value
+        b = prog.run(rng_seed=7).value
+        c = prog.run(rng_seed=8).value
+        assert a == b
+        assert a != c
+
+    def test_runs_are_isolated(self):
+        """Each run gets a fresh machine: device state cannot leak."""
+        src = """
+int main(){
+  int a[4], i;
+  for(i=0;i<4;i++) a[i] = 0;
+  #pragma acc data copyin(a[0:4])
+  { }
+  return 1;
+}
+"""
+        prog = CC.compile(src, "c")
+        assert prog.run().value == 1
+        assert prog.run().value == 1

@@ -1,0 +1,114 @@
+"""Corpus-wide integration tests.
+
+Every template in the 1.0 corpus is exercised against the conforming
+reference implementation:
+
+* the functional test must pass (value 1);
+* where the template expects a *different* cross outcome, the cross test
+  must produce a wrong value or an error;
+* where the template declares the cross `same` (scheduling-only clauses),
+  the cross must pass.
+
+Parametrised per template: each case covers a distinct OpenACC feature in
+one language.
+"""
+
+import pytest
+
+from repro.accsim.errors import AccRuntimeError
+from repro.compiler import Compiler, CompileError
+from repro.suite import openacc10_suite
+from repro.templates import generate_cross, generate_functional
+
+_SUITE = openacc10_suite()
+_CC = Compiler()
+
+
+def _ids():
+    return [t.name for t in _SUITE]
+
+
+@pytest.fixture(scope="module")
+def compiled_cache():
+    return {}
+
+
+@pytest.mark.parametrize("template", list(_SUITE), ids=_ids())
+def test_functional_passes_on_reference(template):
+    generated = generate_functional(template)
+    program = _CC.compile(generated.source, template.language, template.name)
+    result = program.run(env_vars=template.environment or None)
+    assert result.value == 1, (
+        f"functional {template.name} returned {result.value}"
+    )
+
+
+@pytest.mark.parametrize(
+    "template",
+    [t for t in _SUITE if t.has_cross],
+    ids=lambda t: t.name,
+)
+def test_cross_behaviour_on_reference(template):
+    generated = generate_cross(template)
+    try:
+        program = _CC.compile(generated.source, template.language, template.name)
+        result = program.run(env_vars=template.environment or None)
+        outcome = "pass" if result.value == 1 else "wrong"
+    except (CompileError, AccRuntimeError):
+        outcome = "wrong"
+    if template.crossexpect == "different":
+        assert outcome == "wrong", (
+            f"cross {template.name} still passed — the tested directive "
+            "would be unverifiable"
+        )
+    else:
+        assert outcome == "pass", (
+            f"cross {template.name} expected to match but produced {outcome}"
+        )
+
+
+class TestCorpusShape:
+    def test_paper_scale(self):
+        """'more than 160 test cases (both C and Fortran)' (Section III)."""
+        assert len(_SUITE) > 160
+
+    def test_both_languages_equally_covered(self):
+        c_features = {t.feature for t in _SUITE.for_language("c")}
+        f_features = {t.feature for t in _SUITE.for_language("fortran")}
+        assert c_features == f_features
+
+    def test_one_feature_per_test(self):
+        """'single generated test code must test for only one OpenACC
+        feature' — enforced as (feature, language) uniqueness."""
+        keys = [(t.feature, t.language) for t in _SUITE]
+        assert len(keys) == len(set(keys))
+
+    def test_tree_coverage(self):
+        """Directives, clauses, runtime routines and env vars all covered."""
+        features = set(_SUITE.features())
+        assert "parallel" in features and "kernels" in features
+        assert any(f.startswith("loop.reduction.") for f in features)
+        assert any(f.startswith("runtime.") for f in features)
+        assert any(f.startswith("env.") for f in features)
+
+    def test_every_template_documented(self):
+        for template in _SUITE:
+            assert template.description, f"{template.name} lacks a description"
+
+    def test_dependences_reference_known_features(self):
+        """Dependences must name spec features (some are covered jointly by
+        another feature's template, e.g. acc_get_device_type)."""
+        from repro.spec.features import OPENACC_10
+
+        for template in _SUITE:
+            for dep in template.dependences:
+                assert dep in OPENACC_10, (
+                    f"{template.name} depends on unknown {dep!r}"
+                )
+
+    def test_selection_api(self):
+        only_data = _SUITE.select(prefixes=["data"])
+        assert only_data
+        assert all(t.feature.startswith("data") for t in only_data)
+        c_only = _SUITE.select(languages=["c"])
+        assert all(t.language == "c" for t in c_only)

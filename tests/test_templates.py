@@ -1,0 +1,158 @@
+"""Tests for the template engine (parser + generator)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.templates import (
+    TemplateError,
+    generate,
+    generate_cross,
+    generate_functional,
+    generate_pair,
+    parse_template,
+)
+from repro.suite.builders import check, cross, swap, template_text
+
+
+def _minimal(code: str, **kwargs) -> str:
+    defaults = dict(
+        name="t.c", feature="loop", language="c", code=code,
+    )
+    defaults.update(kwargs)
+    return template_text(**defaults)
+
+
+class TestParser:
+    def test_full_header(self):
+        text = template_text(
+            name="x.c", feature="parallel.num_gangs", language="c",
+            description="desc here", version="1.0",
+            dependences=["parallel.reduction", "loop"],
+            defaults={"N": 10}, crossexpect="same",
+            environment={"ACC_DEVICE_TYPE": "NVIDIA"},
+            code="int main(){ return 1; }",
+        )
+        tpl = parse_template(text)
+        assert tpl.name == "x.c"
+        assert tpl.feature == "parallel.num_gangs"
+        assert tpl.dependences == ["parallel.reduction", "loop"]
+        assert tpl.defaults == {"N": "10"}
+        assert tpl.crossexpect == "same"
+        assert tpl.environment == {"ACC_DEVICE_TYPE": "NVIDIA"}
+
+    def test_missing_root_raises(self):
+        with pytest.raises(TemplateError):
+            parse_template("<acctv:testcode>x</acctv:testcode>")
+
+    def test_missing_directive_raises(self):
+        with pytest.raises(TemplateError):
+            parse_template(
+                "<acctv:test><acctv:testcode>x</acctv:testcode></acctv:test>"
+            )
+
+    def test_empty_testcode_raises(self):
+        with pytest.raises(TemplateError):
+            parse_template(_minimal("   "))
+
+    def test_unbalanced_markers_raise(self):
+        with pytest.raises(TemplateError):
+            parse_template(_minimal("a <acctv:check>b"))
+
+    def test_nested_markers_raise(self):
+        bad = "<acctv:check>a<acctv:crosscheck>b</acctv:crosscheck>c</acctv:check>"
+        with pytest.raises(TemplateError):
+            parse_template(_minimal(bad))
+
+    def test_unknown_language_raises(self):
+        with pytest.raises(TemplateError):
+            parse_template(_minimal("x", language="cobol"))
+
+    def test_invalid_crossexpect_raises(self):
+        with pytest.raises(TemplateError):
+            parse_template(_minimal("x", crossexpect="maybe"))
+
+    def test_has_cross_detection(self):
+        assert not parse_template(_minimal("plain code")).has_cross
+        assert parse_template(_minimal(check("code"))).has_cross
+
+
+class TestGenerator:
+    def test_functional_keeps_check_drops_cross(self):
+        tpl = parse_template(_minimal(
+            "A " + check("KEEP") + " " + cross("DROP") + " B"
+        ))
+        out = generate_functional(tpl)
+        assert "KEEP" in out.source and "DROP" not in out.source
+        assert "acctv" not in out.source
+
+    def test_cross_drops_check_keeps_cross(self):
+        tpl = parse_template(_minimal(
+            "A " + check("DROP") + " " + cross("KEEP") + " B"
+        ))
+        out = generate_cross(tpl)
+        assert "KEEP" in out.source and "DROP" not in out.source
+
+    def test_swap_substitution(self):
+        tpl = parse_template(_minimal(swap("firstprivate(t)", "private(t)")))
+        functional = generate_functional(tpl)
+        crossed = generate_cross(tpl)
+        assert "firstprivate(t)" in functional.source
+        assert "private(t)" in crossed.source
+        assert "firstprivate" not in crossed.source
+
+    def test_placeholders_from_defaults(self):
+        tpl = parse_template(_minimal("int a[{{N}}];", defaults={"N": 16}))
+        assert "int a[16];" in generate_functional(tpl).source
+
+    def test_placeholders_override(self):
+        tpl = parse_template(_minimal("int a[{{N}}];", defaults={"N": 16}))
+        out = generate_functional(tpl, params={"N": 99})
+        assert "int a[99];" in out.source
+
+    def test_missing_placeholder_raises(self):
+        tpl = parse_template(_minimal("int a[{{MISSING}}];"))
+        with pytest.raises(TemplateError):
+            generate_functional(tpl)
+
+    def test_cross_without_markers_raises(self):
+        tpl = parse_template(_minimal("no markers at all"))
+        with pytest.raises(TemplateError):
+            generate_cross(tpl)
+
+    def test_generate_pair(self):
+        tpl = parse_template(_minimal(check("X")))
+        functional, crossed = generate_pair(tpl)
+        assert functional.mode == "functional"
+        assert crossed is not None and crossed.mode == "cross"
+        plain = parse_template(_minimal("plain"))
+        _functional, none_cross = generate_pair(plain)
+        assert none_cross is None
+
+    def test_unknown_mode_rejected(self):
+        tpl = parse_template(_minimal(check("X")))
+        with pytest.raises(ValueError):
+            generate(tpl, "sideways")
+
+    def test_blank_line_collapse(self):
+        tpl = parse_template(_minimal("a\n" + cross("x") + "\n\n\nb"))
+        out = generate_functional(tpl)
+        assert "\n\n\n" not in out.source
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="<{}"),
+                   min_size=1, max_size=60))
+    def test_marker_free_code_roundtrips(self, code):
+        """Generation of marker-free code is the identity modulo blank-line
+        normalisation."""
+        if not code.strip():
+            return
+        tpl = parse_template(_minimal(code))
+        out = generate_functional(tpl)
+        assert out.source.strip().replace("\n\n", "\n") is not None
+        for line in out.source.strip().split("\n"):
+            assert line in code or line.strip() == ""
+
+    @given(st.integers(1, 500))
+    def test_numeric_params_substitute(self, n):
+        tpl = parse_template(_minimal("len {{N}} end", defaults={"N": 1}))
+        out = generate_functional(tpl, params={"N": n})
+        assert f"len {n} end" in out.source

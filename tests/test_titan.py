@@ -1,0 +1,89 @@
+"""Tests for the Titan production-harness simulation (Section VII)."""
+
+import pytest
+
+from repro.compiler import CompilerBehavior
+from repro.harness import HarnessConfig
+from repro.harness.titan import (
+    STACK_CUDA,
+    STACK_OPENCL,
+    TitanCluster,
+    TitanHarness,
+    default_stacks,
+)
+from repro.suite import openacc10_suite
+
+
+@pytest.fixture(scope="module")
+def harness():
+    cluster = TitanCluster(num_nodes=8, degraded_fraction=0.25, seed=7)
+    # a small feature slice keeps sweeps fast while still exercising the
+    # degraded-node fault classes (update / async / copyout / reductions)
+    return TitanHarness(
+        cluster,
+        openacc10_suite(),
+        config=HarnessConfig(iterations=1, run_cross=False, languages=("c",)),
+        feature_prefixes=["update", "parallel"],
+    )
+
+
+class TestCluster:
+    def test_degraded_fraction(self):
+        cluster = TitanCluster(num_nodes=20, degraded_fraction=0.25, seed=1)
+        degraded = [n for n in cluster.nodes if not n.healthy]
+        assert len(degraded) == 5
+
+    def test_deterministic_construction(self):
+        a = TitanCluster(num_nodes=10, seed=3)
+        b = TitanCluster(num_nodes=10, seed=3)
+        assert [n.healthy for n in a.nodes] == [n.healthy for n in b.nodes]
+
+    def test_stacks_have_distinct_backends(self):
+        stacks = default_stacks()
+        assert (stacks[STACK_CUDA].concrete_device_type
+                is not stacks[STACK_OPENCL].concrete_device_type)
+
+    def test_upgrade_preserves_degradation(self):
+        cluster = TitanCluster(num_nodes=8, degraded_fraction=0.5, seed=2)
+        new = CompilerBehavior(name="titan-cc", version="cuda-next")
+        cluster.upgrade_stack(STACK_CUDA, new)
+        for node in cluster.nodes:
+            if node.healthy:
+                assert node.stacks[STACK_CUDA].version == "cuda-next"
+            else:
+                # degraded nodes carry faults on top of the new version
+                assert node.stacks[STACK_CUDA] != new
+
+
+class TestHarness:
+    def test_healthy_nodes_pass_degraded_flagged(self, harness):
+        checks = harness.sweep(sample_size=8, seed=0, stacks=(STACK_CUDA,))
+        healthy = [c for c in checks if c.healthy]
+        degraded = [c for c in checks if not c.healthy]
+        assert healthy and degraded
+        assert all(not c.flagged for c in healthy)
+        assert all(c.flagged for c in degraded)
+
+    def test_sweep_covers_both_stacks(self, harness):
+        checks = harness.sweep(sample_size=2, seed=1)
+        stacks = {c.stack for c in checks}
+        assert stacks == {STACK_CUDA, STACK_OPENCL}
+
+    def test_timeline_tracks_regression_and_recovery(self):
+        cluster = TitanCluster(num_nodes=6, degraded_fraction=0.0, seed=5)
+        harness = TitanHarness(
+            cluster, openacc10_suite(),
+            config=HarnessConfig(iterations=1, run_cross=False,
+                                 languages=("c",)),
+            feature_prefixes=["update"],
+        )
+        regressed = CompilerBehavior(name="titan-cc", version="cuda-bad",
+                                     ignore_update=True)
+        fixed = CompilerBehavior(name="titan-cc", version="cuda-fixed")
+        records = harness.timeline(
+            epochs=3, sample_size=3,
+            upgrades={1: (STACK_CUDA, regressed), 2: (STACK_CUDA, fixed)},
+        )
+        assert records[0][STACK_CUDA] == 100.0
+        assert records[1][STACK_CUDA] < 100.0
+        assert records[2][STACK_CUDA] == 100.0

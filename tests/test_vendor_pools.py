@@ -1,0 +1,58 @@
+"""Tests for the deterministic feature pools behind the beta-version
+bug inventories."""
+
+import pytest
+
+from repro.compiler.vendors.pools import CORE_FEATURES, eligible_pool, take
+from repro.suite import openacc10_suite
+
+
+@pytest.fixture(scope="module")
+def features():
+    return openacc10_suite().features()
+
+
+class TestEligiblePool:
+    def test_excludes_core_and_env(self, features):
+        pool = eligible_pool(features)
+        assert not set(pool) & CORE_FEATURES
+        assert not any(f.startswith("env.") for f in pool)
+
+    def test_sorted_and_deterministic(self, features):
+        pool = eligible_pool(features)
+        assert pool == sorted(pool)
+        assert pool == eligible_pool(list(reversed(features)))
+
+    def test_large_enough_for_worst_inventory(self, features):
+        # CAPS 3.0.8 needs 70 Fortran features (Table I)
+        assert len(eligible_pool(features)) >= 70
+
+    def test_core_features_exist_in_suite(self, features):
+        missing = CORE_FEATURES - set(features)
+        # `data` has no bare-directive test (its semantics are entirely in
+        # its clauses, each of which has one); everything else in the core
+        # set is directly covered
+        assert missing <= {"data"}, missing
+
+
+class TestTake:
+    def test_exact_count(self, features):
+        pool = eligible_pool(features)
+        assert len(take(pool, 35)) == 35
+
+    def test_prefix_stability(self, features):
+        """A smaller inventory is a prefix of a larger one — later versions
+        'fix' bugs rather than shuffling them."""
+        pool = eligible_pool(features)
+        assert take(pool, 23) == take(pool, 35)[:23]
+
+    def test_exclusion(self, features):
+        pool = eligible_pool(features)
+        excluded = pool[0]
+        taken = take(pool, 10, exclude=[excluded])
+        assert excluded not in taken
+
+    def test_overflow_raises(self, features):
+        pool = eligible_pool(features)
+        with pytest.raises(ValueError):
+            take(pool, len(pool) + 1)
