@@ -11,6 +11,12 @@ Run:  python examples/compiler_evolution.py [caps|pgi|cray]
 """
 
 import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # source checkout: resolve src/ from this file
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis import table1_counts, vendor_pass_rates
 

@@ -12,6 +12,14 @@ Walks the core workflow in five steps:
 Run:  python examples/quickstart.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # source checkout: resolve src/ from this file
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.harness import HarnessConfig, ValidationRunner, render_text
 from repro.suite import openacc10_suite
 

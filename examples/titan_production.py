@@ -12,6 +12,14 @@ Builds a 16-node cluster where a quarter of the nodes are degraded, then:
 Run:  python examples/titan_production.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # source checkout: resolve src/ from this file
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.compiler import CompilerBehavior
 from repro.harness import HarnessConfig
 from repro.harness.titan import (

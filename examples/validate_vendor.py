@@ -14,6 +14,11 @@ Reports land in ./reports/.
 import sys
 from pathlib import Path
 
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # source checkout: resolve src/ from this file
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.compiler.vendors import vendor_version
 from repro.harness import (
     HarnessConfig,

@@ -12,6 +12,14 @@ The example test validates `update host` on a subarray section.
 Run:  python examples/write_a_test.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (installed, or PYTHONPATH already set)
+except ModuleNotFoundError:  # source checkout: resolve src/ from this file
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.compiler import CompilerBehavior
 from repro.harness import HarnessConfig, ValidationRunner
 from repro.templates import generate_pair, parse_template

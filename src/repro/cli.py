@@ -27,11 +27,14 @@ from repro.analysis import table1_counts, vendor_pass_rates
 from repro.compiler import Compiler, CompilerBehavior
 from repro.compiler.vendors import VENDORS, vendor_version
 from repro.harness import (
+    EXECUTION_POLICIES,
     HarnessConfig,
     ValidationRunner,
     render_bug_report,
     render_csv,
     render_html,
+    render_metrics_csv,
+    render_metrics_text,
     render_text,
 )
 from repro.spec.features import OPENACC_10
@@ -51,6 +54,9 @@ def _config(args) -> HarnessConfig:
         run_cross=not args.no_cross,
         languages=(args.language,) if args.language else ("c", "fortran"),
         feature_prefixes=args.features or None,
+        policy=args.policy,
+        workers=args.workers,
+        compile_cache=not args.no_compile_cache,
     )
 
 
@@ -112,6 +118,11 @@ def cmd_validate(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(output)
+    if args.metrics:
+        render_metrics = (
+            render_metrics_csv if args.format == "csv" else render_metrics_text
+        )
+        print(render_metrics(report))
     return 0 if not report.failures() else 2
 
 
@@ -189,6 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="text",
                    choices=["text", "html", "csv", "bugs"])
     p.add_argument("--output", help="write the report to a file")
+    p.add_argument("--policy", default="serial",
+                   choices=list(EXECUTION_POLICIES),
+                   help="execution engine (identical reports either way)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="pool size for --policy thread/process")
+    p.add_argument("--metrics", action="store_true",
+                   help="print run metrics (wall/compile/execute time, "
+                        "compile-cache hit rate, worker utilization)")
+    p.add_argument("--no-compile-cache", action="store_true",
+                   help="disable compile memoisation")
 
     p = sub.add_parser("sweep", help="Fig. 8-style pass-rate sweep")
     p.add_argument("vendor", choices=list(VENDORS))

@@ -1,0 +1,117 @@
+"""Compile cache: memoise ``Compiler.compile`` across suite runs.
+
+The harness compiles the same generated program many times: repeated
+iterations of one phase share a :class:`CompiledProgram` already, but the
+Fig. 8 version sweeps, the Titan node sweeps and benchmark rounds recompile
+byte-identical sources over and over.  A :class:`CompileCache` keyed on
+``(source, language, name, behavior)`` makes every repeat a dictionary
+lookup.  ``CompilerBehavior`` is a frozen (hashable) dataclass, so keying on
+the whole behaviour — rather than just its label — guarantees two
+implementations can never alias each other's cache entries.
+
+Compile *errors* are cached too (negative caching): a vendor version that
+rejects a directive rejects it identically on every attempt, and the
+error-heavy beta sweeps benefit the most.
+
+The cache is thread-safe (the ``thread`` execution policy shares one
+runner); under the ``process`` policy each worker process holds its own
+cache, and the engine aggregates hit counters from the per-phase flags
+carried by the results.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple, TYPE_CHECKING
+
+from repro.compiler.errors import CompileError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.behavior import CompilerBehavior
+    from repro.compiler.pipeline import CompiledProgram, Compiler
+
+#: default number of entries kept (LRU beyond this); one full-suite run
+#: against one behaviour needs ~2 entries per template (functional + cross)
+DEFAULT_MAXSIZE = 4096
+
+
+@dataclass
+class CacheOutcome:
+    """Result of a cached compile: exactly one of program/error is set."""
+
+    program: Optional["CompiledProgram"]
+    error: Optional[CompileError]
+    hit: bool
+
+
+class CompileCache:
+    """Bounded LRU cache of compile results (successes and errors)."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, Tuple[object, object]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    # ------------------------------------------------------------------ api
+
+    @staticmethod
+    def key(source: str, language: str, name: str,
+            behavior: "CompilerBehavior") -> tuple:
+        return (source, language, name, behavior)
+
+    def get_or_compile(
+        self,
+        compiler: "Compiler",
+        source: str,
+        language: str,
+        name: str,
+    ) -> CacheOutcome:
+        """Compile through the cache; never raises.
+
+        A cached :class:`CompileError` counts as a hit — the second
+        rejection is exactly as informative as the first and much cheaper.
+        """
+        k = self.key(source, language, name, compiler.behavior)
+        with self._lock:
+            entry = self._entries.get(k)
+            if entry is not None:
+                self._entries.move_to_end(k)
+                self.hits += 1
+        if entry is not None:
+            program, error = entry
+            return CacheOutcome(program=program, error=error, hit=True)
+        try:
+            program = compiler.compile(source, language, name)
+        except CompileError as err:
+            self._store(k, (None, err))
+            return CacheOutcome(program=None, error=err, hit=False)
+        self._store(k, (program, None))
+        return CacheOutcome(program=program, error=None, hit=False)
+
+    def _store(self, k: tuple, entry: Tuple[object, object]) -> None:
+        with self._lock:
+            self.misses += 1
+            self._entries[k] = entry
+            self._entries.move_to_end(k)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)

@@ -8,7 +8,8 @@ feature selection; ``titan`` simulates the production deployment of
 Section VII (random-node validation across software stacks).
 """
 
-from repro.harness.config import HarnessConfig
+from repro.harness.config import EXECUTION_POLICIES, HarnessConfig
+from repro.harness.engine import RunMetrics, create_engine
 from repro.harness.stats import (
     accidental_pass_probability,
     certainty,
@@ -25,16 +26,20 @@ from repro.harness.runner import (
 from repro.harness.report import (
     render_csv,
     render_html,
+    render_metrics_csv,
+    render_metrics_text,
     render_text,
     render_bug_report,
 )
 from repro.harness.titan import Node, TitanCluster, TitanHarness, StackCheck
 
 __all__ = [
-    "HarnessConfig",
+    "EXECUTION_POLICIES", "HarnessConfig",
+    "RunMetrics", "create_engine",
     "accidental_pass_probability", "certainty", "cross_fail_probability",
     "FailureKind", "IterationOutcome", "PhaseResult", "SuiteRunReport",
     "TestResult", "ValidationRunner",
-    "render_csv", "render_html", "render_text", "render_bug_report",
+    "render_csv", "render_html", "render_metrics_csv", "render_metrics_text",
+    "render_text", "render_bug_report",
     "Node", "TitanCluster", "TitanHarness", "StackCheck",
 ]

@@ -6,6 +6,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+#: execution policies understood by :mod:`repro.harness.engine`
+EXECUTION_POLICIES = ("serial", "thread", "process")
+
 
 @dataclass
 class HarnessConfig:
@@ -13,6 +16,12 @@ class HarnessConfig:
 
     ``iterations`` is the paper's M: every test is repeated and the cross
     results feed the certainty statistic pc = 1 - (1 - nf/M)^M.
+
+    ``workers``/``policy`` select the execution engine: ``serial`` runs
+    templates in order in-process, ``thread``/``process`` fan the suite out
+    over a pool.  All policies produce identical reports for the same
+    configuration (template order and per-iteration seeds are derived from
+    the config, never from scheduling).
     """
 
     iterations: int = 3
@@ -31,6 +40,29 @@ class HarnessConfig:
     #: base RNG seed; iteration k runs with seed base+k so repeated runs are
     #: reproducible yet not identical
     rng_seed: int = 20140519
+    #: execution policy: 'serial' | 'thread' | 'process'
+    policy: str = "serial"
+    #: pool size for the thread/process policies (ignored by 'serial')
+    workers: int = 1
+    #: memoise compiles across phases/runs (see repro.compiler.cache)
+    compile_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError(
+                f"iterations must be >= 1 (got {self.iterations}): with zero "
+                "iterations every phase is vacuously 'all correct' and any "
+                "compiler passes with certainty 0"
+            )
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1 (got {self.max_steps})")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1 (got {self.workers})")
+        if self.policy not in EXECUTION_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"expected one of {', '.join(EXECUTION_POLICIES)}"
+            )
 
     def iteration_seeds(self):
         return [self.rng_seed + k for k in range(self.iterations)]

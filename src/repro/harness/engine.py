@@ -1,0 +1,226 @@
+"""Execution engine: pluggable policies for suite runs.
+
+``ValidationRunner.run_suite`` used to walk the template list strictly
+serially, although the workload — compile, run M times, classify, next
+template — is embarrassingly parallel.  This module supplies the paper's
+"runs on random nodes / tracks large sweeps" scale-out shape as three
+interchangeable policies behind ``HarnessConfig.policy``/``workers``:
+
+* ``serial`` — the original in-order loop (the default);
+* ``thread`` — a thread pool sharing one runner and one compile cache
+  (useful for I/O-bound behaviours and as a determinism cross-check);
+* ``process`` — a process pool: ``(behavior, config)`` are shipped to each
+  worker once via the pool initializer, then work units carry only
+  ``(index, template)`` and ship a finished :class:`TestResult` back.
+
+Determinism guarantee: results are reassembled in template order, and every
+per-iteration RNG seed derives from ``HarnessConfig`` alone (``rng_seed +
+k``), never from scheduling — so serial and parallel runs of the same
+configuration render byte-identical text/CSV/HTML reports.
+
+Every run also assembles a :class:`RunMetrics` (attached to the report):
+per-phase wall time, compile-cache hit rate, per-worker busy time and
+failure-kind counters — the observability side of the scale-out work.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+from repro.harness.config import EXECUTION_POLICIES, HarnessConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler import CompilerBehavior
+    from repro.harness.runner import SuiteRunReport, TestResult, ValidationRunner
+    from repro.templates import TestTemplate
+
+#: ordered (TestResult, worker id) pairs, one per template
+EngineOutcomes = List[Tuple["TestResult", str]]
+
+
+@dataclass
+class RunMetrics:
+    """Observability counters for one suite run."""
+
+    policy: str
+    workers: int
+    #: wall-clock time of the whole suite run
+    wall_s: float = 0.0
+    #: compile-phase time summed over all phases (cache lookups included)
+    compile_s: float = 0.0
+    #: execution time summed over all phases (all iterations)
+    execute_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    templates: int = 0
+    #: total program executions (functional + cross, all iterations)
+    iterations_run: int = 0
+    #: busy seconds per worker (thread name / worker pid)
+    worker_busy_s: Dict[str, float] = field(default_factory=dict)
+    #: failure-kind value -> count, e.g. {"compile_error": 3}
+    failure_kinds: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def busy_s(self) -> float:
+        return sum(self.worker_busy_s.values())
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the pool's wall-clock capacity spent on work units."""
+        if self.wall_s <= 0.0 or self.workers < 1:
+            return 0.0
+        return self.busy_s / (self.wall_s * self.workers)
+
+
+# ---------------------------------------------------------------------------
+# policies
+# ---------------------------------------------------------------------------
+
+
+class SerialEngine:
+    """The original strictly-ordered in-process loop."""
+
+    policy = "serial"
+
+    def __init__(self, workers: int = 1):
+        self.workers = 1  # serial by definition
+
+    def run(self, templates: Sequence["TestTemplate"],
+            runner: "ValidationRunner") -> EngineOutcomes:
+        worker = "main"
+        return [(runner.run_template(t), worker) for t in templates]
+
+
+class ThreadEngine:
+    """A thread pool sharing one runner (and its compile cache)."""
+
+    policy = "thread"
+
+    def __init__(self, workers: int):
+        self.workers = workers
+
+    def run(self, templates: Sequence["TestTemplate"],
+            runner: "ValidationRunner") -> EngineOutcomes:
+        if not templates:
+            return []
+
+        def unit(payload: Tuple[int, "TestTemplate"]):
+            index, template = payload
+            return index, runner.run_template(template), threading.current_thread().name
+
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="harness"
+        ) as pool:
+            raw = list(pool.map(unit, enumerate(templates)))
+        raw.sort(key=lambda item: item[0])
+        return [(result, worker) for _, result, worker in raw]
+
+
+# -- process-pool plumbing: one runner per worker process, built once -------
+
+_WORKER_RUNNER: "ValidationRunner" = None
+
+
+def _process_worker_init(behavior: "CompilerBehavior", config: HarnessConfig) -> None:
+    """Pool initializer: build this worker's runner (own compile cache)."""
+    global _WORKER_RUNNER
+    from repro.harness.runner import ValidationRunner
+
+    _WORKER_RUNNER = ValidationRunner(behavior, config)
+
+
+def _process_run_unit(payload: Tuple[int, "TestTemplate"]):
+    index, template = payload
+    return index, _WORKER_RUNNER.run_template(template), f"pid-{os.getpid()}"
+
+
+class ProcessEngine:
+    """A process pool; work units pickle ``(index, template)`` only."""
+
+    policy = "process"
+
+    def __init__(self, workers: int):
+        self.workers = workers
+
+    def run(self, templates: Sequence["TestTemplate"],
+            runner: "ValidationRunner") -> EngineOutcomes:
+        if not templates:
+            return []
+        payloads = list(enumerate(templates))
+        chunksize = max(1, len(payloads) // (self.workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_process_worker_init,
+            initargs=(runner.behavior, runner.config),
+        ) as pool:
+            raw = list(pool.map(_process_run_unit, payloads, chunksize=chunksize))
+        raw.sort(key=lambda item: item[0])
+        return [(result, worker) for _, result, worker in raw]
+
+
+_ENGINES = {
+    "serial": SerialEngine,
+    "thread": ThreadEngine,
+    "process": ProcessEngine,
+}
+assert set(_ENGINES) == set(EXECUTION_POLICIES)
+
+
+def create_engine(policy: str, workers: int = 1):
+    """Instantiate the engine for a config-validated policy name."""
+    try:
+        engine_cls = _ENGINES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy!r}; expected one of "
+            f"{', '.join(EXECUTION_POLICIES)}"
+        ) from None
+    return engine_cls(workers)
+
+
+# ---------------------------------------------------------------------------
+# metrics assembly
+# ---------------------------------------------------------------------------
+
+
+def build_metrics(
+    report: "SuiteRunReport",
+    policy: str,
+    workers: int,
+    outcomes: EngineOutcomes,
+) -> RunMetrics:
+    """Fold per-phase instrumentation into one :class:`RunMetrics`.
+
+    Cache counters come from the per-phase ``cache_hit`` flags carried in
+    the results, so they are exact under every policy — including process
+    pools, where each worker holds a private cache whose own counters never
+    leave the worker.
+    """
+    metrics = RunMetrics(policy=policy, workers=workers,
+                         wall_s=report.elapsed_s, templates=len(report.results))
+    for result, worker in outcomes:
+        busy = metrics.worker_busy_s.setdefault(worker, 0.0)
+        metrics.worker_busy_s[worker] = busy + result.elapsed_s
+        for phase in (result.functional, result.cross):
+            if phase is None:
+                continue
+            metrics.compile_s += phase.compile_s
+            metrics.execute_s += phase.run_s
+            metrics.iterations_run += len(phase.iterations)
+            if phase.cache_hit:
+                metrics.cache_hits += 1
+            else:
+                metrics.cache_misses += 1
+    for kind, count in report.by_failure_kind().items():
+        metrics.failure_kinds[kind.value] = count
+    return metrics

@@ -110,6 +110,61 @@ Pass rates: {summary}</p>
 """
 
 
+def render_metrics_text(report: SuiteRunReport) -> str:
+    """Engine/run metrics as a plain-text block (the CLI's ``--metrics``).
+
+    Kept out of :func:`render_text` on purpose: timing and utilization vary
+    run to run, while the validation report itself is byte-identical across
+    execution policies.
+    """
+    m = report.metrics
+    if m is None:
+        return "no run metrics recorded (report not produced by run_suite)\n"
+    lines: List[str] = []
+    lines.append(f"run metrics — {report.compiler_label}")
+    lines.append(f"  policy             : {m.policy} (workers={m.workers})")
+    lines.append(f"  wall time          : {m.wall_s:.3f} s")
+    lines.append(f"  compile time (sum) : {m.compile_s:.3f} s")
+    lines.append(f"  execute time (sum) : {m.execute_s:.3f} s")
+    lines.append(f"  templates          : {m.templates}")
+    lines.append(f"  program runs       : {m.iterations_run}")
+    lines.append(
+        f"  compile cache      : {m.cache_hits} hits / {m.cache_misses} "
+        f"misses ({m.cache_hit_rate:.1%} hit rate)"
+    )
+    lines.append(
+        f"  worker utilization : {m.worker_utilization:.1%} across "
+        f"{len(m.worker_busy_s)} worker(s)"
+    )
+    if m.failure_kinds:
+        lines.append("  failure kinds      : " + ", ".join(
+            f"{kind}={count}" for kind, count in sorted(m.failure_kinds.items())
+        ))
+    return "\n".join(lines) + "\n"
+
+
+def render_metrics_csv(report: SuiteRunReport) -> str:
+    """Engine/run metrics as ``metric,value`` rows."""
+    m = report.metrics
+    if m is None:
+        return "metric,value\n"
+    rows = ["metric,value"]
+    rows.append(f"policy,{m.policy}")
+    rows.append(f"workers,{m.workers}")
+    rows.append(f"wall_s,{m.wall_s:.6f}")
+    rows.append(f"compile_s,{m.compile_s:.6f}")
+    rows.append(f"execute_s,{m.execute_s:.6f}")
+    rows.append(f"templates,{m.templates}")
+    rows.append(f"iterations_run,{m.iterations_run}")
+    rows.append(f"cache_hits,{m.cache_hits}")
+    rows.append(f"cache_misses,{m.cache_misses}")
+    rows.append(f"cache_hit_rate,{m.cache_hit_rate:.4f}")
+    rows.append(f"worker_utilization,{m.worker_utilization:.4f}")
+    for kind, count in sorted(m.failure_kinds.items()):
+        rows.append(f"failures.{kind},{count}")
+    return "\n".join(rows) + "\n"
+
+
 def render_bug_report(report: SuiteRunReport, max_snippet_lines: int = 40) -> str:
     """Failure-focused report with code snippets (for vendor convenience)."""
     lines: List[str] = []

@@ -32,6 +32,7 @@ from repro.compiler import (
     CompilerBehavior,
     ExecutionLimits,
 )
+from repro.compiler.cache import CompileCache
 from repro.harness.config import HarnessConfig
 from repro.harness.stats import certainty
 from repro.suite.registry import SuiteRegistry
@@ -64,6 +65,11 @@ class PhaseResult:
     source: str
     compile_error: Optional[str] = None
     iterations: List[IterationOutcome] = field(default_factory=list)
+    #: instrumentation (feeds engine.RunMetrics; never rendered in reports,
+    #: so serial and parallel reports stay byte-identical)
+    compile_s: float = 0.0
+    run_s: float = 0.0
+    cache_hit: bool = False
 
     @property
     def incorrect_runs(self) -> int:
@@ -154,6 +160,8 @@ class SuiteRunReport:
     config: HarnessConfig
     results: List[TestResult] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: filled by run_suite (see repro.harness.engine.RunMetrics)
+    metrics: Optional["RunMetrics"] = None
 
     def for_language(self, language: str) -> List[TestResult]:
         return [r for r in self.results if r.language == language]
@@ -190,9 +198,13 @@ class ValidationRunner:
         self,
         behavior: Optional[CompilerBehavior] = None,
         config: Optional[HarnessConfig] = None,
+        cache: Optional[CompileCache] = None,
     ):
         self.compiler = Compiler(behavior) if behavior is not None else Compiler()
         self.config = config or HarnessConfig()
+        if cache is None and self.config.compile_cache:
+            cache = CompileCache()
+        self.cache = cache
 
     @property
     def behavior(self) -> CompilerBehavior:
@@ -229,13 +241,19 @@ class ValidationRunner:
                 features=config.features,
                 prefixes=config.feature_prefixes,
             )
+        from repro.harness.engine import build_metrics, create_engine
+
+        engine = create_engine(config.policy, config.workers)
         report = SuiteRunReport(
             compiler_label=self.behavior.label, config=config
         )
         start = time.perf_counter()
-        for template in templates:
-            report.results.append(self.run_template(template))
+        outcomes = engine.run(list(templates), self)
         report.elapsed_s = time.perf_counter() - start
+        report.results = [result for result, _ in outcomes]
+        report.metrics = build_metrics(
+            report, engine.policy, engine.workers, outcomes
+        )
         return report
 
     # -------------------------------------------------------------- internals
@@ -246,19 +264,36 @@ class ValidationRunner:
         else:
             generated = generate_cross(template)
         phase = PhaseResult(mode=mode, source=generated.source)
-        try:
-            compiled = self.compiler.compile(
-                generated.source, template.language, template.name
+        compile_start = time.perf_counter()
+        if self.cache is not None:
+            outcome = self.cache.get_or_compile(
+                self.compiler, generated.source, template.language,
+                template.name,
             )
-        except CompileError as err:
-            phase.compile_error = str(err)
-            return phase
+            phase.cache_hit = outcome.hit
+            if outcome.error is not None:
+                phase.compile_error = str(outcome.error)
+                phase.compile_s = time.perf_counter() - compile_start
+                return phase
+            compiled = outcome.program
+        else:
+            try:
+                compiled = self.compiler.compile(
+                    generated.source, template.language, template.name
+                )
+            except CompileError as err:
+                phase.compile_error = str(err)
+                phase.compile_s = time.perf_counter() - compile_start
+                return phase
+        phase.compile_s = time.perf_counter() - compile_start
         limits = ExecutionLimits(max_steps=self.config.max_steps)
         env_vars = template.environment or None
+        run_start = time.perf_counter()
         for seed in self.config.iteration_seeds():
             phase.iterations.append(
                 self._run_once(compiled, env_vars, limits, seed)
             )
+        phase.run_s = time.perf_counter() - run_start
         return phase
 
     @staticmethod

@@ -75,6 +75,29 @@ class TestValidate:
         with pytest.raises(SystemExit):
             main(["validate", "--vendor", "pgi"])
 
+    def test_validate_parallel_engine_with_metrics(self, capsys):
+        code = main(["validate", "--features", "wait", "--language", "c",
+                     "--iterations", "1", "--policy", "process",
+                     "--workers", "2", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "100.00% pass" in out
+        assert "run metrics" in out
+        assert "policy             : process (workers=2)" in out
+
+    def test_validate_metrics_csv(self, capsys):
+        main(["validate", "--features", "wait", "--language", "c",
+              "--iterations", "1", "--format", "csv", "--metrics",
+              "--no-compile-cache"])
+        out = capsys.readouterr().out
+        assert "metric,value" in out
+        assert "cache_hits,0" in out
+
+    def test_validate_rejects_bad_workers(self, capsys):
+        with pytest.raises(ValueError, match="workers"):
+            main(["validate", "--features", "wait", "--language", "c",
+                  "--iterations", "1", "--workers", "0"])
+
 
 class TestTitanCommand:
     def test_titan_sweep(self, capsys):

@@ -1,0 +1,267 @@
+"""Tests for the execution engine, compile cache, config validation and
+run metrics.
+
+The central property (the determinism guarantee of
+:mod:`repro.harness.engine`): ``serial``, ``thread`` and ``process``
+policies must produce *identical* reports — same pass rates, failure kinds
+and certainty values, byte-identical text/CSV renderings — for the same
+configuration.
+"""
+
+import pytest
+
+from repro.compiler import CompileCache, Compiler, CompilerBehavior
+from repro.compiler.vendors import vendor_version
+from repro.harness import (
+    EXECUTION_POLICIES,
+    HarnessConfig,
+    RunMetrics,
+    ValidationRunner,
+    create_engine,
+    render_csv,
+    render_metrics_csv,
+    render_metrics_text,
+    render_text,
+)
+from repro.suite import openacc10_suite
+from repro.suite.builders import check, template_text
+from repro.templates import parse_template
+
+
+def _template(code: str, **kwargs):
+    args = dict(name="t.c", feature="loop", language="c", code=code)
+    args.update(kwargs)
+    return parse_template(template_text(**args))
+
+
+# ---------------------------------------------------------------------------
+# HarnessConfig validation (the zero-iteration vacuous-pass bug)
+# ---------------------------------------------------------------------------
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("iterations", [0, -1, -100])
+    def test_nonpositive_iterations_rejected(self, iterations):
+        with pytest.raises(ValueError, match="iterations"):
+            HarnessConfig(iterations=iterations)
+
+    def test_zero_iterations_would_have_passed_vacuously(self):
+        # the bug this guards against: M=0 makes every phase 'all correct'
+        # and hands any compiler a pass with certainty 0
+        config = HarnessConfig(iterations=1)
+        assert config.iteration_seeds()  # never empty once validated
+
+    @pytest.mark.parametrize("max_steps", [0, -5])
+    def test_nonpositive_max_steps_rejected(self, max_steps):
+        with pytest.raises(ValueError, match="max_steps"):
+            HarnessConfig(max_steps=max_steps)
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    def test_nonpositive_workers_rejected(self, workers):
+        with pytest.raises(ValueError, match="workers"):
+            HarnessConfig(workers=workers)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            HarnessConfig(policy="distributed")
+
+    def test_defaults_are_valid(self):
+        config = HarnessConfig()
+        assert config.policy == "serial" and config.workers == 1
+
+    def test_create_engine_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            create_engine("gpu", 2)
+
+
+# ---------------------------------------------------------------------------
+# policy equivalence (determinism guarantee)
+# ---------------------------------------------------------------------------
+
+
+#: a behaviour that exercises every verdict class: silent wrong values
+#: (broken reductions), compile errors (declare unsupported) and passes
+_BUGGY = CompilerBehavior(
+    name="buggy", version="x",
+    broken_reductions=frozenset({"+"}),
+    unsupported_directives=frozenset({"declare"}),
+)
+
+
+def _run(policy: str, workers: int, **config_kwargs):
+    defaults = dict(iterations=2, languages=("c",),
+                    feature_prefixes=["loop", "declare", "parallel"])
+    defaults.update(config_kwargs)
+    config = HarnessConfig(policy=policy, workers=workers, **defaults)
+    return ValidationRunner(_BUGGY, config).run_suite(openacc10_suite())
+
+
+class TestPolicyEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return _run("serial", 1)
+
+    @pytest.mark.parametrize("policy,workers",
+                             [("thread", 2), ("process", 2), ("process", 4)])
+    def test_reports_byte_identical(self, serial_report, policy, workers):
+        report = _run(policy, workers)
+        assert render_csv(report) == render_csv(serial_report)
+        assert render_text(report) == render_text(serial_report)
+
+    @pytest.mark.parametrize("policy", ["thread", "process"])
+    def test_semantics_identical(self, serial_report, policy):
+        report = _run(policy, 2)
+        assert report.pass_rate() == serial_report.pass_rate()
+        assert report.by_failure_kind() == serial_report.by_failure_kind()
+        assert [r.certainty for r in report.results] == \
+               [r.certainty for r in serial_report.results]
+        assert [r.template.name for r in report.results] == \
+               [r.template.name for r in serial_report.results]
+
+    def test_all_policies_registered(self):
+        assert set(EXECUTION_POLICIES) == {"serial", "thread", "process"}
+
+    def test_engine_handles_empty_selection(self):
+        config = HarnessConfig(policy="process", workers=2,
+                               features=["no.such.feature"])
+        report = ValidationRunner(_BUGGY, config).run_suite(openacc10_suite())
+        assert report.results == []
+        assert report.metrics.templates == 0
+
+
+# ---------------------------------------------------------------------------
+# compile cache
+# ---------------------------------------------------------------------------
+
+
+class TestCompileCache:
+    def test_repeat_compiles_hit(self):
+        cache = CompileCache()
+        cc = Compiler()
+        src = "int main(){ return 1; }"
+        first = cache.get_or_compile(cc, src, "c", "t.c")
+        second = cache.get_or_compile(cc, src, "c", "t.c")
+        assert not first.hit and second.hit
+        assert second.program is first.program
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_negative_caching_of_compile_errors(self):
+        cache = CompileCache()
+        cc = Compiler()
+        src = "int main(){ this is not C }"
+        first = cache.get_or_compile(cc, src, "c", "t.c")
+        second = cache.get_or_compile(cc, src, "c", "t.c")
+        assert first.error is not None and second.hit
+        assert str(second.error) == str(first.error)
+
+    def test_behaviors_never_alias(self):
+        cache = CompileCache()
+        src = "int main(){\n#pragma acc declare copyin(x)\nint x = 1; return x; }"
+        ok = cache.get_or_compile(Compiler(), src, "c", "t.c")
+        rejecting = Compiler(CompilerBehavior(
+            name="nodeclare", version="0",
+            unsupported_directives=frozenset({"declare"}),
+        ))
+        rejected = cache.get_or_compile(rejecting, src, "c", "t.c")
+        assert ok.error is None
+        assert rejected.error is not None and not rejected.hit
+
+    def test_lru_eviction(self):
+        cache = CompileCache(maxsize=2)
+        cc = Compiler()
+        for i in range(3):
+            cache.get_or_compile(cc, f"int main(){{ return {i}; }}", "c", "t.c")
+        assert len(cache) == 2
+        # the oldest entry was evicted -> recompiling it is a miss
+        refetch = cache.get_or_compile(cc, "int main(){ return 0; }", "c", "t.c")
+        assert not refetch.hit
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            CompileCache(maxsize=0)
+
+    def test_runner_reuses_cache_across_runs(self):
+        tpl = _template(
+            "int main(){ int x = 0; " + check("x = 1;") + " return x; }"
+        )
+        runner = ValidationRunner(config=HarnessConfig(iterations=2))
+        first = runner.run_template(tpl)
+        second = runner.run_template(tpl)
+        assert not first.functional.cache_hit
+        assert second.functional.cache_hit and second.cross.cache_hit
+        # cached compiles must not change verdicts
+        assert first.passed == second.passed
+        assert first.certainty == second.certainty
+
+    def test_cache_disabled_by_config(self):
+        runner = ValidationRunner(
+            config=HarnessConfig(iterations=1, compile_cache=False)
+        )
+        assert runner.cache is None
+        tpl = _template("int main(){ return 1; }")
+        result = runner.run_template(tpl)
+        assert result.passed and not result.functional.cache_hit
+
+
+# ---------------------------------------------------------------------------
+# run metrics
+# ---------------------------------------------------------------------------
+
+
+class TestRunMetrics:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return _run("serial", 1)
+
+    def test_metrics_attached_and_consistent(self, report):
+        m = report.metrics
+        assert isinstance(m, RunMetrics)
+        assert m.policy == "serial" and m.workers == 1
+        assert m.templates == len(report.results)
+        assert m.wall_s > 0.0 and m.compile_s > 0.0 and m.execute_s > 0.0
+        assert m.iterations_run == sum(
+            len(r.functional.iterations)
+            + (len(r.cross.iterations) if r.cross else 0)
+            for r in report.results
+        )
+        assert m.failure_kinds == {
+            kind.value: count for kind, count in report.by_failure_kind().items()
+        }
+
+    def test_utilization_bounds(self, report):
+        assert 0.0 < report.metrics.worker_utilization <= 1.05
+
+    def test_cache_counters_match_phase_flags(self, report):
+        hits = sum(
+            int(phase.cache_hit)
+            for r in report.results
+            for phase in (r.functional, r.cross)
+            if phase is not None
+        )
+        assert report.metrics.cache_hits == hits
+
+    def test_process_metrics_track_workers(self):
+        report = _run("process", 2)
+        assert report.metrics.policy == "process"
+        assert report.metrics.workers == 2
+        assert 1 <= len(report.metrics.worker_busy_s) <= 2
+        assert all(w.startswith("pid-")
+                   for w in report.metrics.worker_busy_s)
+
+    def test_metrics_renderers(self, report):
+        text = render_metrics_text(report)
+        assert "run metrics" in text and "compile cache" in text
+        assert "worker utilization" in text
+        csv = render_metrics_csv(report)
+        lines = csv.strip().split("\n")
+        assert lines[0] == "metric,value"
+        keys = {line.split(",", 1)[0] for line in lines[1:]}
+        assert {"policy", "workers", "wall_s", "cache_hit_rate",
+                "worker_utilization"} <= keys
+
+    def test_metrics_renderers_without_metrics(self, report):
+        from repro.harness import SuiteRunReport
+
+        bare = SuiteRunReport(compiler_label="x", config=report.config)
+        assert "no run metrics" in render_metrics_text(bare)
+        assert render_metrics_csv(bare) == "metric,value\n"
