@@ -1,0 +1,65 @@
+"""Observability-overhead benchmark: traced vs untraced suite runs.
+
+The tracing subsystem (repro.obs) is on the hot path of every phase —
+``_run_phase`` opens three spans per phase and the spans double as the
+runner's timers.  Two guarantees are measured here:
+
+* the *disabled* path (the default ``NULL_TRACER``) stays the baseline —
+  ``test_bench_parallel_engine`` keeps asserting the untraced speedups, and
+  this bench pins the untraced run as the denominator;
+* a fully *enabled* tracer with profiling collects thousands of spans,
+  events and histogram samples for bounded cost (asserted ≤ 1.6× the
+  untraced run — generous; typical overhead is a few percent).
+"""
+
+import time
+
+from benchmarks.conftest import print_series
+from repro.compiler.vendors import vendor_version
+from repro.harness import HarnessConfig, ValidationRunner, render_csv
+from repro.obs import Tracer
+
+
+def _run(suite, tracer=None):
+    behavior = vendor_version("pgi", "13.2").behavior("c")
+    config = HarnessConfig(iterations=3, languages=("c",))
+    runner = ValidationRunner(behavior, config, tracer=tracer)
+    start = time.perf_counter()
+    report = runner.run_suite(suite)
+    return report, time.perf_counter() - start
+
+
+def test_bench_tracing_overhead(benchmark, suite10):
+    untraced_report, untraced_s = _run(suite10)
+
+    tracer = Tracer(profile=True)
+
+    def traced_run():
+        return _run(suite10, tracer=tracer)
+
+    traced_report, traced_s = benchmark.pedantic(
+        traced_run, rounds=1, iterations=1
+    )
+    overhead = traced_s / untraced_s
+
+    snapshot = tracer.metrics.snapshot()
+    print_series("Observability — traced vs untraced, full C suite", [
+        f"untraced {untraced_s:7.2f} s",
+        f"traced   {traced_s:7.2f} s   overhead {overhead:5.2f}x   "
+        f"{len(tracer.spans)} spans, {len(tracer.events)} events, "
+        f"{len(snapshot['histograms'])} histograms",
+    ])
+
+    # tracing observes the run, it must never change it
+    assert render_csv(traced_report) == render_csv(untraced_report)
+
+    # the trace actually captured the run (3+ spans per template phase)
+    assert len(tracer.spans) > 3 * len(traced_report.results)
+    assert snapshot["counters"]["templates.run"] == len(traced_report.results)
+    assert snapshot["histograms"]["profile.bytes_to_device"][0] > 0
+
+    # bounded cost: well under 1.6x even on noisy CI hosts
+    assert overhead <= 1.6, (
+        f"tracing overhead {overhead:.2f}x exceeds the 1.6x budget "
+        f"({untraced_s:.2f}s -> {traced_s:.2f}s)"
+    )

@@ -30,6 +30,10 @@ class AsyncQueues:
         self._queues: Dict[object, List[Activity]] = {}
         self.completed = 0  # logical clock
         self.enqueued = 0
+        #: profiling (see repro.obs): wait calls and the deepest backlog
+        #: observed across all queues at any enqueue
+        self.waits = 0
+        self.max_pending = 0
 
     def _key(self, tag: Optional[int]) -> object:
         return DEFAULT_QUEUE if tag is None else int(tag)
@@ -40,6 +44,9 @@ class AsyncQueues:
             Activity(run=run, description=description)
         )
         self.enqueued += 1
+        depth = self.pending()
+        if depth > self.max_pending:
+            self.max_pending = depth
 
     def test(self, tag: Optional[int]) -> bool:
         """True (complete) iff no pending activities on the tagged queue."""
@@ -50,17 +57,22 @@ class AsyncQueues:
 
     def wait(self, tag: Optional[int]) -> None:
         """Drain the tagged queue, executing activities in order."""
-        queue = self._queues.get(self._key(tag), [])
+        self.waits += 1
+        self._drain(self._key(tag))
+
+    def wait_all(self) -> None:
+        self.waits += 1
+        # drain in deterministic order; activities may enqueue more work
+        while any(self._queues.values()):
+            for key in list(self._queues):
+                self._drain(key)
+
+    def _drain(self, key: object) -> None:
+        queue = self._queues.get(key, [])
         while queue:
             activity = queue.pop(0)
             activity.run()
             self.completed += 1
-
-    def wait_all(self) -> None:
-        # drain in deterministic order; activities may enqueue more work
-        while any(self._queues.values()):
-            for key in list(self._queues):
-                self.wait(key if key is not DEFAULT_QUEUE else None)
 
     def pending(self) -> int:
         return sum(len(q) for q in self._queues.values())

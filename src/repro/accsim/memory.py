@@ -31,6 +31,11 @@ from repro.accsim.errors import DeviceAllocationError, PresentError
 from repro.accsim.values import ArrayValue, Cell, DevicePointer
 
 
+#: accounting size of a scalar transfer (the simulator does not model
+#: element widths for scalars; 8 covers the widest C/Fortran scalar)
+_SCALAR_BYTES = 8
+
+
 def fill_garbage(array: ArrayValue, salt: int) -> None:
     """Deterministic 'uninitialised device memory' pattern."""
     flat = array.data.reshape(-1)
@@ -75,6 +80,9 @@ class DeviceMemory:
         self._present: Dict[int, Mapping] = {}
         self._salt = 0
         self.bytes_allocated = 0
+        #: cumulative data-clause traffic (profiling; see repro.obs)
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
 
     # ------------------------------------------------------------- queries
 
@@ -228,8 +236,10 @@ class DeviceMemory:
             length = mapping.length if length is None else length
             values = host.read_section(start, length)
             mapping.device_data.write_section(start, values)
+            self.bytes_to_device += int(values.nbytes)
         else:
             mapping.device_data = host
+            self.bytes_to_device += _SCALAR_BYTES
 
     def _device_to_host(self, mapping: Mapping, start: Optional[int] = None,
                         length: Optional[int] = None) -> None:
@@ -239,5 +249,7 @@ class DeviceMemory:
             length = mapping.length if length is None else length
             values = mapping.device_data.read_section(start, length)
             host.write_section(start, values)
+            self.bytes_to_host += int(values.nbytes)
         else:
             mapping.cell.value = mapping.device_data
+            self.bytes_to_host += _SCALAR_BYTES

@@ -28,12 +28,18 @@ def run_vendor_version(
     language: str,
     suite: Optional[SuiteRegistry] = None,
     config: Optional[HarnessConfig] = None,
+    tracer=None,
 ) -> PassRatePoint:
-    """Run the suite against one vendor version's language frontend."""
+    """Run the suite against one vendor version's language frontend.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, optional) records the run as
+    one ``run[...]`` span tree per call — passing the same tracer across
+    calls accumulates the whole sweep in a single trace.
+    """
     suite = suite or openacc10_suite()
     config = config or HarnessConfig(iterations=1, run_cross=False)
     config.languages = (language,)
-    runner = ValidationRunner(vv.behavior(language), config)
+    runner = ValidationRunner(vv.behavior(language), config, tracer=tracer)
     report = runner.run_suite(suite)
     pool = report.for_language(language)
     return PassRatePoint(

@@ -12,7 +12,9 @@ Section III (compiler configuration, feature selection, result formats):
 * ``repro sweep`` — a Fig. 8-style pass-rate sweep over a vendor;
 * ``repro table1`` — the Table I bug-count table;
 * ``repro titan`` — a Section VII production sweep on the simulated
-  cluster.
+  cluster;
+* ``repro trace`` — summarize or render a trace recorded with
+  ``validate/titan --trace FILE.jsonl [--profile]``.
 
 Invoke as ``python -m repro <command> ...``.
 """
@@ -40,6 +42,47 @@ from repro.harness import (
 from repro.spec.features import OPENACC_10
 from repro.suite import openacc10_suite
 from repro.templates import generate_cross, generate_functional
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (pool sizes, node/sample counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _fraction(text: str) -> float:
+    """argparse type: a float in [0, 1] (degraded-node fraction)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
+    return value
+
+
+def _make_tracer(args):
+    """Build a Tracer when ``--trace``/``--profile`` ask for one."""
+    if not (args.trace or args.profile):
+        return None
+    from repro.obs import Tracer
+
+    return Tracer(profile=args.profile)
+
+
+def _finish_trace(args, tracer, **meta) -> None:
+    if tracer is None or not args.trace:
+        return
+    from repro.obs import write_trace
+
+    write_trace(args.trace, tracer,
+                meta=dict(meta, profile=args.profile))
+    print(f"wrote {args.trace}")
 
 
 def _behavior(args) -> CompilerBehavior:
@@ -103,7 +146,8 @@ def cmd_validate(args) -> int:
         suite = combination_suite()
     else:
         suite = openacc10_suite()
-    runner = ValidationRunner(_behavior(args), _config(args))
+    tracer = _make_tracer(args)
+    runner = ValidationRunner(_behavior(args), _config(args), tracer=tracer)
     report = runner.run_suite(suite)
     renderer = {
         "text": render_text,
@@ -122,7 +166,20 @@ def cmd_validate(args) -> int:
         render_metrics = (
             render_metrics_csv if args.format == "csv" else render_metrics_text
         )
-        print(render_metrics(report))
+        if args.output:
+            # keep the report file clean of timing noise: metrics go to a
+            # sidecar next to it, matching the report's format
+            suffix = ".metrics.csv" if args.format == "csv" else ".metrics.txt"
+            metrics_path = args.output + suffix
+            with open(metrics_path, "w") as handle:
+                handle.write(render_metrics(report) + "\n")
+            print(f"wrote {metrics_path}")
+        else:
+            print(render_metrics(report))
+    _finish_trace(args, tracer, command="validate", suite=args.suite,
+                  vendor=args.vendor or "reference",
+                  version=args.version or "-",
+                  policy=args.policy, workers=args.workers)
     return 0 if not report.failures() else 2
 
 
@@ -153,12 +210,14 @@ def cmd_table1(args) -> int:
 def cmd_titan(args) -> int:
     from repro.harness.titan import TitanCluster, TitanHarness
 
+    tracer = _make_tracer(args)
     cluster = TitanCluster(num_nodes=args.nodes,
                            degraded_fraction=args.degraded, seed=args.seed)
     harness = TitanHarness(
         cluster, openacc10_suite(),
         config=HarnessConfig(iterations=1, run_cross=False, languages=("c",)),
         feature_prefixes=["parallel", "update"],
+        tracer=tracer,
     )
     checks = harness.sweep(sample_size=args.sample, seed=args.seed)
     for check in checks:
@@ -167,6 +226,34 @@ def cmd_titan(args) -> int:
               f"{check.pass_rate:6.1f}%  {status}")
     flagged = sum(1 for c in checks if c.flagged)
     print(f"\n{flagged} of {len(checks)} node/stack checks flagged")
+    _finish_trace(args, tracer, command="titan", nodes=args.nodes,
+                  degraded=args.degraded, sample=args.sample, seed=args.seed)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import (
+        read_trace,
+        render_summary_text,
+        render_trace_html,
+        summarize_trace,
+    )
+
+    try:
+        trace = read_trace(args.file)
+    except (OSError, ValueError) as err:
+        print(f"cannot read trace {args.file!r}: {err}", file=sys.stderr)
+        return 1
+    if args.trace_command == "summarize":
+        print(render_summary_text(summarize_trace(trace, top=args.top)))
+    else:  # html
+        page = render_trace_html(trace)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(page)
+            print(f"wrote {args.output}")
+        else:
+            print(page)
     return 0
 
 
@@ -193,7 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vendor", choices=list(VENDORS))
     p.add_argument("--version", help="vendor version (with --vendor)")
     p.add_argument("--language", choices=["c", "fortran"])
-    p.add_argument("--iterations", type=int, default=3, metavar="M")
+    p.add_argument("--iterations", type=_positive_int, default=3, metavar="M")
     p.add_argument("--no-cross", action="store_true")
     p.add_argument("--features", nargs="*", metavar="PREFIX",
                    help="feature prefixes to select, e.g. parallel loop.reduction")
@@ -203,13 +290,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="serial",
                    choices=list(EXECUTION_POLICIES),
                    help="execution engine (identical reports either way)")
-    p.add_argument("--workers", type=int, default=1, metavar="N",
+    p.add_argument("--workers", type=_positive_int, default=1, metavar="N",
                    help="pool size for --policy thread/process")
     p.add_argument("--metrics", action="store_true",
-                   help="print run metrics (wall/compile/execute time, "
-                        "compile-cache hit rate, worker utilization)")
+                   help="run metrics (wall/compile/execute time, compile-"
+                        "cache hit rate, worker utilization); written next "
+                        "to --output as FILE.metrics.txt/.csv, else printed")
     p.add_argument("--no-compile-cache", action="store_true",
                    help="disable compile memoisation")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a span/event/metrics trace to FILE (JSONL)")
+    p.add_argument("--profile", action="store_true",
+                   help="add accsim profiling (iteration steps, bytes "
+                        "moved, async-queue waits) to the trace")
 
     p = sub.add_parser("sweep", help="Fig. 8-style pass-rate sweep")
     p.add_argument("vendor", choices=list(VENDORS))
@@ -222,10 +315,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--language", default="c", choices=["c", "fortran"])
 
     p = sub.add_parser("titan", help="production sweep on the simulated cluster")
-    p.add_argument("--nodes", type=int, default=16)
-    p.add_argument("--degraded", type=float, default=0.25)
-    p.add_argument("--sample", type=int, default=6)
+    p.add_argument("--nodes", type=_positive_int, default=16,
+                   help="cluster size (>= 1)")
+    p.add_argument("--degraded", type=_fraction, default=0.25,
+                   help="fraction of degraded nodes, in [0, 1]")
+    p.add_argument("--sample", type=_positive_int, default=6,
+                   help="nodes sampled per sweep (>= 1)")
     p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a span/event/metrics trace to FILE (JSONL)")
+    p.add_argument("--profile", action="store_true",
+                   help="add accsim profiling to the trace")
+
+    p = sub.add_parser("trace", help="inspect a recorded trace file")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ps = tsub.add_parser("summarize",
+                         help="text summary: phase totals, cache, slowest "
+                              "templates, failure kinds")
+    ps.add_argument("file")
+    ps.add_argument("--top", type=_positive_int, default=10, metavar="N",
+                    help="slowest templates to list")
+    ph = tsub.add_parser("html", help="render the HTML trace dashboard")
+    ph.add_argument("file")
+    ph.add_argument("--output", help="write the page to a file")
 
     return parser
 
@@ -260,6 +372,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "table1": cmd_table1,
     "titan": cmd_titan,
+    "trace": cmd_trace,
 }
 
 

@@ -85,13 +85,20 @@ class CompileCache:
         source: str,
         language: str,
         name: str,
+        tracer=None,
     ) -> CacheOutcome:
         """Compile through the cache; never raises.
 
         A cached :class:`CompileError` counts as a hit — the second
         rejection is exactly as informative as the first and much cheaper.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`, optional) receives
+        ``compile.cache_hit``/``compile.cache_miss`` events and counters;
+        cached errors are hits, fresh errors additionally bump
+        ``compile.errors``.
         """
         k = self.key(source, language, name, compiler.behavior)
+        observe = tracer is not None and tracer.enabled
         with self._lock:
             entry = self._entries.get(k)
             if entry is not None:
@@ -99,11 +106,21 @@ class CompileCache:
                 self.hits += 1
         if entry is not None:
             program, error = entry
+            if observe:
+                tracer.event("compile.cache_hit", template=name,
+                             language=language)
+                tracer.metrics.counter("compile.cache_hits").inc()
             return CacheOutcome(program=program, error=error, hit=True)
+        if observe:
+            tracer.event("compile.cache_miss", template=name,
+                         language=language)
+            tracer.metrics.counter("compile.cache_misses").inc()
         try:
             program = compiler.compile(source, language, name)
         except CompileError as err:
             self._store(k, (None, err))
+            if observe:
+                tracer.metrics.counter("compile.errors").inc()
             return CacheOutcome(program=None, error=err, hit=False)
         self._store(k, (program, None))
         return CacheOutcome(program=program, error=None, hit=False)

@@ -135,6 +135,12 @@ class ExecutionResult:
     output: List[str] = field(default_factory=list)
     steps: int = 0
     kernels_launched: int = 0
+    #: execution profile (repro.obs): data-clause traffic and async-queue
+    #: behaviour summed over all devices of the run's machine
+    bytes_to_device: int = 0
+    bytes_to_host: int = 0
+    queue_waits: int = 0
+    queue_max_pending: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -199,11 +205,16 @@ class Interpreter:
             for dev in [self.machine.host] + self.machine.accelerators:
                 dev.queues.wait_all()
         kernels = sum(d.kernels_launched for d in self.machine.accelerators)
+        devices = [self.machine.host] + self.machine.accelerators
         return ExecutionResult(
             value=_as_int(value),
             output=self.output,
             steps=self.steps,
             kernels_launched=kernels,
+            bytes_to_device=sum(d.memory.bytes_to_device for d in devices),
+            bytes_to_host=sum(d.memory.bytes_to_host for d in devices),
+            queue_waits=sum(d.queues.waits for d in devices),
+            queue_max_pending=max(d.queues.max_pending for d in devices),
         )
 
     # ----------------------------------------------------------- functions

@@ -131,21 +131,36 @@ class ThreadEngine:
 _WORKER_RUNNER: "ValidationRunner" = None
 
 
-def _process_worker_init(behavior: "CompilerBehavior", config: HarnessConfig) -> None:
-    """Pool initializer: build this worker's runner (own compile cache)."""
+def _process_worker_init(behavior: "CompilerBehavior", config: HarnessConfig,
+                         trace_profile: bool = None) -> None:
+    """Pool initializer: build this worker's runner (own compile cache).
+
+    ``trace_profile`` is None when the parent runs untraced; otherwise the
+    worker gets its own :class:`repro.obs.Tracer` with that profile flag,
+    drained back to the parent after every work unit.
+    """
     global _WORKER_RUNNER
     from repro.harness.runner import ValidationRunner
 
-    _WORKER_RUNNER = ValidationRunner(behavior, config)
+    tracer = None
+    if trace_profile is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer(profile=trace_profile)
+    _WORKER_RUNNER = ValidationRunner(behavior, config, tracer=tracer)
 
 
 def _process_run_unit(payload: Tuple[int, "TestTemplate"]):
     index, template = payload
-    return index, _WORKER_RUNNER.run_template(template), f"pid-{os.getpid()}"
+    result = _WORKER_RUNNER.run_template(template)
+    tracer = _WORKER_RUNNER.tracer
+    trace_payload = tracer.drain() if tracer.enabled else None
+    return index, result, f"pid-{os.getpid()}", trace_payload
 
 
 class ProcessEngine:
-    """A process pool; work units pickle ``(index, template)`` only."""
+    """A process pool; work units pickle ``(index, template)`` only and ship
+    back a finished result plus (when tracing) the unit's trace payload."""
 
     policy = "process"
 
@@ -156,16 +171,23 @@ class ProcessEngine:
             runner: "ValidationRunner") -> EngineOutcomes:
         if not templates:
             return []
+        tracer = runner.tracer
         payloads = list(enumerate(templates))
         chunksize = max(1, len(payloads) // (self.workers * 4))
         with ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_process_worker_init,
-            initargs=(runner.behavior, runner.config),
+            initargs=(runner.behavior, runner.config,
+                      tracer.profile if tracer.enabled else None),
         ) as pool:
             raw = list(pool.map(_process_run_unit, payloads, chunksize=chunksize))
         raw.sort(key=lambda item: item[0])
-        return [(result, worker) for _, result, worker in raw]
+        # adopt worker traces in template order so event sequencing is
+        # deterministic; run_suite re-parents the unit roots afterwards
+        for _, _, worker, trace_payload in raw:
+            if trace_payload is not None:
+                tracer.adopt(trace_payload, worker=worker)
+        return [(result, worker) for _, result, worker, _ in raw]
 
 
 _ENGINES = {

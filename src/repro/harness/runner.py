@@ -35,6 +35,7 @@ from repro.compiler import (
 from repro.compiler.cache import CompileCache
 from repro.harness.config import HarnessConfig
 from repro.harness.stats import certainty
+from repro.obs import NULL_TRACER
 from repro.suite.registry import SuiteRegistry
 from repro.templates import TestTemplate, generate_cross, generate_functional
 
@@ -55,6 +56,12 @@ class IterationOutcome:
     error: Optional[str] = None
     kind: Optional[FailureKind] = None
     steps: int = 0
+    #: execution profile (zeros when the run died before finishing); never
+    #: rendered in reports, surfaced via repro.obs when profiling is on
+    bytes_to_device: int = 0
+    bytes_to_host: int = 0
+    queue_waits: int = 0
+    queue_max_pending: int = 0
 
 
 @dataclass
@@ -199,12 +206,15 @@ class ValidationRunner:
         behavior: Optional[CompilerBehavior] = None,
         config: Optional[HarnessConfig] = None,
         cache: Optional[CompileCache] = None,
+        tracer=None,
     ):
         self.compiler = Compiler(behavior) if behavior is not None else Compiler()
         self.config = config or HarnessConfig()
         if cache is None and self.config.compile_cache:
             cache = CompileCache()
         self.cache = cache
+        #: a repro.obs.Tracer; the default NULL_TRACER records nothing
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def behavior(self) -> CompilerBehavior:
@@ -213,21 +223,34 @@ class ValidationRunner:
     # ------------------------------------------------------------ execution
 
     def run_template(self, template: TestTemplate) -> TestResult:
-        start = time.perf_counter()
-        functional = self._run_phase(template, "functional")
-        cross: Optional[PhaseResult] = None
-        if (
-            self.config.run_cross
-            and functional.all_correct
-            and template.has_cross
-        ):
-            cross = self._run_phase(template, "cross")
-        return TestResult(
-            template=template,
-            functional=functional,
-            cross=cross,
-            elapsed_s=time.perf_counter() - start,
-        )
+        tracer = self.tracer
+        tkey = f"{template.feature}:{template.language}"
+        with tracer.span("template", key=tkey) as span:
+            functional = self._run_phase(template, "functional", tkey)
+            cross: Optional[PhaseResult] = None
+            if (
+                self.config.run_cross
+                and functional.all_correct
+                and template.has_cross
+            ):
+                cross = self._run_phase(template, "cross", tkey)
+            result = TestResult(
+                template=template, functional=functional, cross=cross
+            )
+        result.elapsed_s = span.duration
+        if tracer.enabled:
+            kind = result.failure_kind
+            span.set(
+                feature=template.feature,
+                language=template.language,
+                passed=result.passed,
+                certainty=result.certainty,
+                failure_kind=kind.value if kind is not None else None,
+            )
+            tracer.metrics.counter("templates.run").inc()
+            if kind is not None:
+                tracer.metrics.counter(f"templates.failed.{kind.value}").inc()
+        return result
 
     def run_suite(
         self,
@@ -247,54 +270,116 @@ class ValidationRunner:
         report = SuiteRunReport(
             compiler_label=self.behavior.label, config=config
         )
-        start = time.perf_counter()
-        outcomes = engine.run(list(templates), self)
-        report.elapsed_s = time.perf_counter() - start
+        tracer = self.tracer
+        with tracer.span(
+            "run", key=self.behavior.label,
+            policy=engine.policy, workers=engine.workers,
+        ) as root:
+            start = time.perf_counter()
+            outcomes = engine.run(list(templates), self)
+            report.elapsed_s = time.perf_counter() - start
+        # spans recorded off the main thread (thread pools) or adopted from
+        # worker processes have no parent: stitch them under this run's root
+        tracer.reparent_orphans(root)
         report.results = [result for result, _ in outcomes]
         report.metrics = build_metrics(
             report, engine.policy, engine.workers, outcomes
         )
+        if tracer.enabled:
+            root.set(templates=len(report.results),
+                     pass_rate=report.pass_rate())
+            metrics = tracer.metrics
+            metrics.gauge("run.wall_s").set(report.metrics.wall_s)
+            metrics.gauge("run.cache_hit_rate").set(
+                report.metrics.cache_hit_rate
+            )
+            metrics.gauge("run.worker_utilization").set(
+                report.metrics.worker_utilization
+            )
         return report
 
     # -------------------------------------------------------------- internals
 
-    def _run_phase(self, template: TestTemplate, mode: str) -> PhaseResult:
+    def _run_phase(self, template: TestTemplate, mode: str,
+                   tkey: Optional[str] = None) -> PhaseResult:
         if mode == "functional":
             generated = generate_functional(template)
         else:
             generated = generate_cross(template)
         phase = PhaseResult(mode=mode, source=generated.source)
-        compile_start = time.perf_counter()
-        if self.cache is not None:
-            outcome = self.cache.get_or_compile(
-                self.compiler, generated.source, template.language,
-                template.name,
-            )
-            phase.cache_hit = outcome.hit
-            if outcome.error is not None:
-                phase.compile_error = str(outcome.error)
-                phase.compile_s = time.perf_counter() - compile_start
+        tracer = self.tracer
+        pkey = f"{tkey or template.feature}:{mode}"
+        # the spans are the timers: compile_s/run_s are copied from the span
+        # durations, so a recorded trace reconciles with RunMetrics exactly
+        with tracer.span("phase", key=pkey, mode=mode):
+            compiled = None
+            with tracer.span("compile", key=pkey) as compile_span:
+                if self.cache is not None:
+                    outcome = self.cache.get_or_compile(
+                        self.compiler, generated.source, template.language,
+                        template.name,
+                        tracer=tracer if tracer.enabled else None,
+                    )
+                    phase.cache_hit = outcome.hit
+                    if outcome.error is not None:
+                        phase.compile_error = str(outcome.error)
+                    else:
+                        compiled = outcome.program
+                else:
+                    try:
+                        compiled = self.compiler.compile(
+                            generated.source, template.language, template.name
+                        )
+                    except CompileError as err:
+                        phase.compile_error = str(err)
+            phase.compile_s = compile_span.duration
+            if tracer.enabled:
+                compile_span.set(cache_hit=phase.cache_hit,
+                                 error=phase.compile_error)
+            if phase.compile_error is not None:
                 return phase
-            compiled = outcome.program
-        else:
-            try:
-                compiled = self.compiler.compile(
-                    generated.source, template.language, template.name
-                )
-            except CompileError as err:
-                phase.compile_error = str(err)
-                phase.compile_s = time.perf_counter() - compile_start
-                return phase
-        phase.compile_s = time.perf_counter() - compile_start
-        limits = ExecutionLimits(max_steps=self.config.max_steps)
-        env_vars = template.environment or None
-        run_start = time.perf_counter()
-        for seed in self.config.iteration_seeds():
-            phase.iterations.append(
-                self._run_once(compiled, env_vars, limits, seed)
-            )
-        phase.run_s = time.perf_counter() - run_start
+            limits = ExecutionLimits(max_steps=self.config.max_steps)
+            env_vars = template.environment or None
+            with tracer.span("execute", key=pkey) as execute_span:
+                for seed in self.config.iteration_seeds():
+                    outcome = self._run_once(compiled, env_vars, limits, seed)
+                    phase.iterations.append(outcome)
+                    if tracer.enabled:
+                        self._observe_iteration(pkey, seed, outcome)
+            phase.run_s = execute_span.duration
+            if tracer.enabled:
+                execute_span.set(iterations=len(phase.iterations),
+                                 incorrect=phase.incorrect_runs)
+                if tracer.profile:
+                    its = phase.iterations
+                    execute_span.set(
+                        steps=sum(it.steps for it in its),
+                        bytes_to_device=sum(it.bytes_to_device for it in its),
+                        bytes_to_host=sum(it.bytes_to_host for it in its),
+                        queue_waits=sum(it.queue_waits for it in its),
+                    )
         return phase
+
+    def _observe_iteration(self, pkey: str, seed: int,
+                           outcome: IterationOutcome) -> None:
+        """Record one iteration into the (enabled) tracer."""
+        metrics = self.tracer.metrics
+        metrics.counter("iterations.run").inc()
+        metrics.histogram("iteration.steps").observe(outcome.steps)
+        if not outcome.ok:
+            metrics.counter("iterations.failed").inc()
+            self.tracer.event(
+                "iteration.failed", template=pkey, seed=seed,
+                kind=outcome.kind.value if outcome.kind is not None else None,
+            )
+        if self.tracer.profile:
+            metrics.histogram("profile.bytes_to_device").observe(
+                outcome.bytes_to_device)
+            metrics.histogram("profile.bytes_to_host").observe(
+                outcome.bytes_to_host)
+            metrics.histogram("profile.queue_max_pending").observe(
+                outcome.queue_max_pending)
+            metrics.counter("profile.queue_waits").inc(outcome.queue_waits)
 
     @staticmethod
     def _run_once(compiled, env_vars, limits, seed) -> IterationOutcome:
@@ -314,4 +399,8 @@ class ValidationRunner:
             value=result.value,
             kind=None if ok else FailureKind.WRONG_VALUE,
             steps=result.steps,
+            bytes_to_device=result.bytes_to_device,
+            bytes_to_host=result.bytes_to_host,
+            queue_waits=result.queue_waits,
+            queue_max_pending=result.queue_max_pending,
         )

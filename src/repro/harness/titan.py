@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.compiler import CompilerBehavior
 from repro.harness.config import HarnessConfig
 from repro.harness.runner import SuiteRunReport, ValidationRunner
+from repro.obs import NULL_TRACER
 from repro.spec.devices import ACC_DEVICE_NVIDIA, ACC_DEVICE_OPENCL
 from repro.suite.registry import SuiteRegistry
 
@@ -134,6 +135,7 @@ class TitanHarness:
         suite: SuiteRegistry,
         config: Optional[HarnessConfig] = None,
         feature_prefixes: Optional[Sequence[str]] = None,
+        tracer=None,
     ):
         self.cluster = cluster
         self.suite = suite
@@ -141,14 +143,26 @@ class TitanHarness:
         self.config = config or HarnessConfig(iterations=1, run_cross=False)
         if feature_prefixes is not None:
             self.config.feature_prefixes = feature_prefixes
+        #: a repro.obs.Tracer shared by every node check of this harness
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def check_node(self, node: Node, stack: str) -> StackCheck:
-        runner = ValidationRunner(node.stacks[stack], self.config)
+        runner = ValidationRunner(node.stacks[stack], self.config,
+                                  tracer=self.tracer)
         report = runner.run_suite(self.suite)
-        return StackCheck(
+        check = StackCheck(
             node_id=node.node_id, stack=stack, healthy=node.healthy,
             report=report,
         )
+        if self.tracer.enabled:
+            self.tracer.metrics.counter("titan.checks").inc()
+            if check.flagged:
+                self.tracer.metrics.counter("titan.flagged").inc()
+                self.tracer.event(
+                    "titan.node_flagged", node=node.node_id, stack=stack,
+                    healthy=node.healthy, pass_rate=check.pass_rate,
+                )
+        return check
 
     def sweep(self, sample_size: int, seed: int = 0,
               stacks: Sequence[str] = (STACK_CUDA, STACK_OPENCL)) -> List[StackCheck]:
@@ -156,9 +170,17 @@ class TitanHarness:
         rng = random.Random(seed)
         sample = rng.sample(self.cluster.nodes, min(sample_size, len(self.cluster.nodes)))
         checks: List[StackCheck] = []
-        for node in sample:
-            for stack in stacks:
-                checks.append(self.check_node(node, stack))
+        with self.tracer.span("titan.sweep", key=f"seed={seed}",
+                              sample=len(sample)) as span:
+            for node in sample:
+                for stack in stacks:
+                    with self.tracer.span(
+                        "titan.check", key=f"node{node.node_id}:{stack}",
+                        healthy=node.healthy,
+                    ):
+                        checks.append(self.check_node(node, stack))
+        span.set(checks=len(checks),
+                 flagged=sum(1 for c in checks if c.flagged))
         return checks
 
     def timeline(

@@ -1,0 +1,49 @@
+"""Observability: structured tracing, event log and metrics (``repro.obs``).
+
+The harness is as much bookkeeping as testing — per-run reports, bug
+analyses and Titan's longitudinal tracking all depend on knowing what
+happened *inside* a run.  This package supplies that layer:
+
+* :mod:`~repro.obs.trace` — span-based tracer with deterministic IDs,
+  worker marshalling (process pools) and a zero-overhead null mode;
+* :mod:`~repro.obs.metrics` — counter/gauge/histogram primitives;
+* :mod:`~repro.obs.sink` — JSONL serialization and the trace reader;
+* :mod:`~repro.obs.summary` — ``repro trace summarize`` aggregation;
+* :mod:`~repro.obs.dashboard` — standalone HTML trace/metrics dashboard.
+
+Tracing is opt-in: everything runs against :data:`NULL_TRACER` unless a
+real :class:`Tracer` is injected (CLI ``--trace``/``--profile``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.obs.trace import (
+    Event,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_FORMAT,
+    Tracer,
+)
+from repro.obs.sink import (
+    TraceData,
+    parse_trace,
+    read_trace,
+    trace_to_jsonl,
+    write_trace,
+)
+from repro.obs.summary import TraceSummary, render_summary_text, summarize_trace
+from repro.obs.dashboard import render_trace_html
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS",
+    "Event", "NULL_TRACER", "NullTracer", "Span", "TRACE_FORMAT", "Tracer",
+    "TraceData", "parse_trace", "read_trace", "trace_to_jsonl", "write_trace",
+    "TraceSummary", "render_summary_text", "summarize_trace",
+    "render_trace_html",
+]

@@ -1,0 +1,136 @@
+"""JSONL trace sink and reader.
+
+One line per record, ``type`` first: a ``meta`` header, then spans (sorted
+by ID), events (by sequence number) and metrics (by name).  Sorting makes
+the stream layout deterministic for a given set of records, so two runs of
+the same configuration differ only in measured values — IDs, names, parents
+and counts line up row for row (the deterministic-ID property of
+:class:`repro.obs.trace.Tracer`).
+
+The reader is the other half: ``read_trace``/``parse_trace`` reconstruct a
+:class:`TraceData` that :mod:`repro.obs.summary` and
+:mod:`repro.obs.dashboard` consume.  Floats survive the round-trip exactly
+(``json`` emits ``repr``-style shortest-form floats), which is what lets
+``repro trace summarize`` reconcile with ``RunMetrics`` without slack.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import Event, Span, TRACE_FORMAT, Tracer
+
+
+def trace_to_jsonl(tracer: Tracer, meta: Optional[dict] = None) -> str:
+    """Serialize a tracer's records to JSONL text."""
+    header = {"type": "meta", "format": TRACE_FORMAT}
+    if meta:
+        header.update(meta)
+    lines = [json.dumps(header, sort_keys=True)]
+    snapshot = tracer.metrics.snapshot()
+    for span in sorted(tracer.spans, key=lambda s: s.span_id):
+        record = span.to_dict()
+        record["type"] = "span"
+        lines.append(json.dumps(record, sort_keys=True))
+    for event in sorted(tracer.events, key=lambda e: e.seq):
+        record = event.to_dict()
+        record["type"] = "event"
+        lines.append(json.dumps(record, sort_keys=True))
+    for name in sorted(snapshot["counters"]):
+        lines.append(json.dumps(
+            {"type": "counter", "name": name,
+             "value": snapshot["counters"][name]}, sort_keys=True))
+    for name in sorted(snapshot["gauges"]):
+        lines.append(json.dumps(
+            {"type": "gauge", "name": name,
+             "value": snapshot["gauges"][name]}, sort_keys=True))
+    for name in sorted(snapshot["histograms"]):
+        count, total, lo, hi = snapshot["histograms"][name]
+        lines.append(json.dumps(
+            {"type": "histogram", "name": name, "count": count,
+             "sum": total, "min": lo, "max": hi}, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(path: str, tracer: Tracer, meta: Optional[dict] = None) -> None:
+    """Write the tracer's records to ``path`` as JSONL."""
+    with open(path, "w") as handle:
+        handle.write(trace_to_jsonl(tracer, meta))
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraceData:
+    """A parsed trace file."""
+
+    meta: Dict[str, object] = field(default_factory=dict)
+    spans: List[Span] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    #: name -> (count, sum, min, max)
+    histograms: Dict[str, Tuple[int, float, Optional[float], Optional[float]]] = \
+        field(default_factory=dict)
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def span_by_id(self, span_id: str) -> Optional[Span]:
+        for span in self.spans:
+            if span.span_id == span_id:
+                return span
+        return None
+
+
+def parse_trace(text: str) -> TraceData:
+    """Parse JSONL trace text into a :class:`TraceData`."""
+    trace = TraceData()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"trace line {lineno}: invalid JSON ({err})") from err
+        kind = record.get("type")
+        if kind == "meta":
+            fmt = record.get("format")
+            if fmt != TRACE_FORMAT:
+                raise ValueError(
+                    f"trace line {lineno}: unsupported format {fmt!r} "
+                    f"(expected {TRACE_FORMAT})"
+                )
+            trace.meta = {k: v for k, v in record.items() if k != "type"}
+        elif kind == "span":
+            trace.spans.append(Span.from_dict(record))
+        elif kind == "event":
+            trace.events.append(Event.from_dict(record))
+        elif kind == "counter":
+            trace.counters[record["name"]] = record["value"]
+        elif kind == "gauge":
+            trace.gauges[record["name"]] = record["value"]
+        elif kind == "histogram":
+            trace.histograms[record["name"]] = (
+                record["count"], record["sum"],
+                record.get("min"), record.get("max"),
+            )
+        else:
+            raise ValueError(f"trace line {lineno}: unknown record type {kind!r}")
+    trace.events.sort(key=lambda e: e.seq)
+    return trace
+
+
+def read_trace(path: str) -> TraceData:
+    """Read and parse a JSONL trace file."""
+    with open(path) as handle:
+        return parse_trace(handle.read())

@@ -94,9 +94,11 @@ class TestValidate:
         assert "cache_hits,0" in out
 
     def test_validate_rejects_bad_workers(self, capsys):
-        with pytest.raises(ValueError, match="workers"):
+        # rejected at argparse level, before any suite work starts
+        with pytest.raises(SystemExit):
             main(["validate", "--features", "wait", "--language", "c",
                   "--iterations", "1", "--workers", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
 
 
 class TestTitanCommand:
