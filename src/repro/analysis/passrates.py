@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from repro.compiler.vendors import VendorVersion, vendor_versions
@@ -38,7 +38,10 @@ def run_vendor_version(
     """
     suite = suite or openacc10_suite()
     config = config or HarnessConfig(iterations=1, run_cross=False)
-    config.languages = (language,)
+    # narrow to this language on a copy: the caller's config is shared
+    # across every (version, language) cell of a sweep, and mutating it
+    # left all cells after the first pinned to the first language
+    config = replace(config, languages=(language,))
     runner = ValidationRunner(vv.behavior(language), config, tracer=tracer)
     report = runner.run_suite(suite)
     pool = report.for_language(language)

@@ -28,8 +28,10 @@ from typing import List, Optional
 from repro.analysis import table1_counts, vendor_pass_rates
 from repro.compiler import Compiler, CompilerBehavior
 from repro.compiler.vendors import VENDORS, vendor_version
+from repro.faults import FaultPlan
 from repro.harness import (
     EXECUTION_POLICIES,
+    EmptySelectionError,
     HarnessConfig,
     ValidationRunner,
     render_bug_report,
@@ -66,6 +68,36 @@ def _fraction(text: str) -> float:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (retry budgets, recheck counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float > 0 (wall-clock budgets)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _fault_plan(text: str) -> FaultPlan:
+    """argparse type: a fault-injection spec, e.g. 'worker=0.5,seed=7'."""
+    try:
+        return FaultPlan.parse(text)
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(str(err))
+
+
 def _make_tracer(args):
     """Build a Tracer when ``--trace``/``--profile`` ask for one."""
     if not (args.trace or args.profile):
@@ -100,6 +132,9 @@ def _config(args) -> HarnessConfig:
         policy=args.policy,
         workers=args.workers,
         compile_cache=not args.no_compile_cache,
+        retries=args.retries,
+        template_timeout_s=args.timeout_s,
+        fault_plan=args.inject_faults,
     )
 
 
@@ -148,7 +183,13 @@ def cmd_validate(args) -> int:
         suite = openacc10_suite()
     tracer = _make_tracer(args)
     runner = ValidationRunner(_behavior(args), _config(args), tracer=tracer)
-    report = runner.run_suite(suite)
+    try:
+        report = runner.run_suite(suite)
+    except EmptySelectionError as err:
+        # an empty selection used to produce an empty report and exit 0 —
+        # a vacuous pass that silently blessed typo'd --features filters
+        print(f"error: {err}", file=sys.stderr)
+        return 1
     renderer = {
         "text": render_text,
         "html": render_html,
@@ -215,9 +256,13 @@ def cmd_titan(args) -> int:
                            degraded_fraction=args.degraded, seed=args.seed)
     harness = TitanHarness(
         cluster, openacc10_suite(),
-        config=HarnessConfig(iterations=1, run_cross=False, languages=("c",)),
+        config=HarnessConfig(iterations=1, run_cross=False, languages=("c",),
+                             retries=args.retries,
+                             template_timeout_s=args.timeout_s,
+                             fault_plan=args.inject_faults),
         feature_prefixes=["parallel", "update"],
         tracer=tracer,
+        recheck=args.recheck,
     )
     checks = harness.sweep(sample_size=args.sample, seed=args.seed)
     for check in checks:
@@ -226,6 +271,13 @@ def cmd_titan(args) -> int:
               f"{check.pass_rate:6.1f}%  {status}")
     flagged = sum(1 for c in checks if c.flagged)
     print(f"\n{flagged} of {len(checks)} node/stack checks flagged")
+    if harness.quarantined:
+        print(f"{len(harness.quarantined)} node(s) quarantined after "
+              f"{harness.recheck} recheck(s):")
+        for record in sorted(harness.quarantined.values(),
+                             key=lambda r: r.node_id):
+            print(f"  node {record.node_id:3d} {record.stack:15s} "
+                  f"{record.detail}")
     _finish_trace(args, tracer, command="titan", nodes=args.nodes,
                   degraded=args.degraded, sample=args.sample, seed=args.seed)
     return 0
@@ -298,6 +350,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "to --output as FILE.metrics.txt/.csv, else printed")
     p.add_argument("--no-compile-cache", action="store_true",
                    help="disable compile memoisation")
+    p.add_argument("--retries", type=_nonnegative_int, default=0, metavar="R",
+                   help="re-run a work unit up to R times after a harness "
+                        "fault before marking it HARNESS_ERROR")
+    p.add_argument("--timeout-s", type=_positive_float, default=None,
+                   metavar="SECONDS",
+                   help="per-template wall-clock budget (distinct from the "
+                        "interpreter step budget)")
+    p.add_argument("--inject-faults", type=_fault_plan, default=None,
+                   metavar="SPEC",
+                   help="deterministic fault injection, e.g. "
+                        "'worker=0.5,iteration=0.2,seed=7' (sites: compile, "
+                        "iteration, worker, stall; modifiers: seed, "
+                        "stall-s, max-fires, persistent)")
     p.add_argument("--trace", metavar="FILE",
                    help="record a span/event/metrics trace to FILE (JSONL)")
     p.add_argument("--profile", action="store_true",
@@ -322,6 +387,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample", type=_positive_int, default=6,
                    help="nodes sampled per sweep (>= 1)")
     p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--recheck", type=_nonnegative_int, default=1, metavar="R",
+                   help="re-checks of a flagged node before quarantining it")
+    p.add_argument("--retries", type=_nonnegative_int, default=0, metavar="R",
+                   help="per-unit retry budget of the node checks")
+    p.add_argument("--timeout-s", type=_positive_float, default=None,
+                   metavar="SECONDS",
+                   help="per-template wall-clock budget of the node checks")
+    p.add_argument("--inject-faults", type=_fault_plan, default=None,
+                   metavar="SPEC",
+                   help="deterministic fault injection (see validate)")
     p.add_argument("--trace", metavar="FILE",
                    help="record a span/event/metrics trace to FILE (JSONL)")
     p.add_argument("--profile", action="store_true",

@@ -10,7 +10,11 @@ is carried entirely by :class:`~repro.compiler.behavior.CompilerBehavior`.
 
 from repro.compiler.behavior import CompilerBehavior, REFERENCE_BEHAVIOR
 from repro.compiler.cache import CacheOutcome, CompileCache
-from repro.compiler.errors import CompileError, UnsupportedFeatureError
+from repro.compiler.errors import (
+    CompileError,
+    CompilerCrashError,
+    UnsupportedFeatureError,
+)
 from repro.compiler.interp import (
     ExecutionLimits,
     ExecutionResult,
@@ -21,7 +25,7 @@ from repro.compiler.pipeline import CompiledProgram, Compiler
 __all__ = [
     "CompilerBehavior", "REFERENCE_BEHAVIOR",
     "CacheOutcome", "CompileCache",
-    "CompileError", "UnsupportedFeatureError",
+    "CompileError", "CompilerCrashError", "UnsupportedFeatureError",
     "ExecutionLimits", "ExecutionResult", "Interpreter",
     "CompiledProgram", "Compiler",
 ]

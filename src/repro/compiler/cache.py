@@ -26,7 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple, TYPE_CHECKING
 
-from repro.compiler.errors import CompileError
+from repro.compiler.errors import CompileError, CompilerCrashError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compiler.behavior import CompilerBehavior
@@ -91,6 +91,9 @@ class CompileCache:
 
         A cached :class:`CompileError` counts as a hit — the second
         rejection is exactly as informative as the first and much cheaper.
+        A *non*-``CompileError`` exception (an internal compiler crash) is
+        accounted as a miss, wrapped in :class:`CompilerCrashError` and
+        surfaced as the outcome's error — never cached, never raised.
 
         ``tracer`` (a :class:`repro.obs.Tracer`, optional) receives
         ``compile.cache_hit``/``compile.cache_miss`` events and counters;
@@ -122,6 +125,21 @@ class CompileCache:
             if observe:
                 tracer.metrics.counter("compile.errors").inc()
             return CacheOutcome(program=None, error=err, hit=False)
+        except Exception as err:  # internal compiler crash: keep the contract
+            # Account the miss (the attempt really went to the compiler) but
+            # cache nothing: a transient crash must not poison future
+            # compiles of the same source the way a negative-cached
+            # diagnostic would.
+            with self._lock:
+                self.misses += 1
+            if observe:
+                tracer.event("compile.crashed", template=name,
+                             language=language, error=repr(err))
+                tracer.metrics.counter("compile.crashes").inc()
+            crash = CompilerCrashError(
+                f"internal compiler crash: {err!r}", cause=err
+            )
+            return CacheOutcome(program=None, error=crash, hit=False)
         self._store(k, (program, None))
         return CacheOutcome(program=program, error=None, hit=False)
 

@@ -25,3 +25,22 @@ class CompileError(Exception):
 
 class UnsupportedFeatureError(CompileError):
     """The (possibly simulated vendor) compiler does not implement a feature."""
+
+
+class CompilerCrashError(CompileError):
+    """The compiler itself crashed — an infrastructure fault, not a
+    diagnostic.
+
+    Raised by nothing in the compiler proper: :class:`CompileCache`
+    synthesises it when ``Compiler.compile`` escapes with a
+    non-:class:`CompileError` exception, so callers that only understand
+    compile failures still get one — while resilience-aware callers (the
+    validation runner) can recognise the crash and escalate it to the
+    engine's retry layer instead of charging it to the implementation
+    under test.
+    """
+
+    def __init__(self, message: str, loc: Optional[SourceLocation] = None,
+                 cause: Optional[BaseException] = None):
+        super().__init__(message, loc)
+        self.cause = cause

@@ -9,17 +9,25 @@ Section VII (random-node validation across software stacks).
 """
 
 from repro.harness.config import EXECUTION_POLICIES, HarnessConfig
-from repro.harness.engine import RunMetrics, create_engine
+from repro.harness.engine import (
+    MAX_POOL_DEATHS,
+    RunMetrics,
+    create_engine,
+    harness_error_result,
+    run_unit_resilient,
+)
 from repro.harness.stats import (
     accidental_pass_probability,
     certainty,
     cross_fail_probability,
 )
 from repro.harness.runner import (
+    EmptySelectionError,
     FailureKind,
     IterationOutcome,
     PhaseResult,
     SuiteRunReport,
+    TemplateTimeout,
     TestResult,
     ValidationRunner,
 )
@@ -31,15 +39,22 @@ from repro.harness.report import (
     render_text,
     render_bug_report,
 )
-from repro.harness.titan import Node, TitanCluster, TitanHarness, StackCheck
+from repro.harness.titan import (
+    Node,
+    QuarantineRecord,
+    StackCheck,
+    TitanCluster,
+    TitanHarness,
+)
 
 __all__ = [
     "EXECUTION_POLICIES", "HarnessConfig",
-    "RunMetrics", "create_engine",
+    "MAX_POOL_DEATHS", "RunMetrics", "create_engine",
+    "harness_error_result", "run_unit_resilient",
     "accidental_pass_probability", "certainty", "cross_fail_probability",
-    "FailureKind", "IterationOutcome", "PhaseResult", "SuiteRunReport",
-    "TestResult", "ValidationRunner",
+    "EmptySelectionError", "FailureKind", "IterationOutcome", "PhaseResult",
+    "SuiteRunReport", "TemplateTimeout", "TestResult", "ValidationRunner",
     "render_csv", "render_html", "render_metrics_csv", "render_metrics_text",
     "render_text", "render_bug_report",
-    "Node", "TitanCluster", "TitanHarness", "StackCheck",
+    "Node", "QuarantineRecord", "TitanCluster", "TitanHarness", "StackCheck",
 ]

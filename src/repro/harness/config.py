@@ -6,6 +6,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.faults import FaultPlan
+
 #: execution policies understood by :mod:`repro.harness.engine`
 EXECUTION_POLICIES = ("serial", "thread", "process")
 
@@ -46,6 +48,19 @@ class HarnessConfig:
     workers: int = 1
     #: memoise compiles across phases/runs (see repro.compiler.cache)
     compile_cache: bool = True
+    #: bounded retry budget per work unit: a template whose run dies on a
+    #: harness fault (injected or real) is re-run up to this many times
+    #: before it degrades to a HARNESS_ERROR-marked result
+    retries: int = 0
+    #: base backoff between retries of one unit (doubles per attempt; the
+    #: runner's sleeper is injectable so tests are instant)
+    retry_backoff_s: float = 0.05
+    #: per-template wall-clock budget in seconds (None = unbounded) —
+    #: distinct from max_steps, which bounds interpreter work, not time
+    template_timeout_s: Optional[float] = None
+    #: deterministic fault-injection plan (see repro.faults); None = no
+    #: faults
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -62,6 +77,17 @@ class HarnessConfig:
             raise ValueError(
                 f"unknown policy {self.policy!r}; "
                 f"expected one of {', '.join(EXECUTION_POLICIES)}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0 (got {self.retries})")
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0 (got {self.retry_backoff_s})"
+            )
+        if self.template_timeout_s is not None and self.template_timeout_s <= 0:
+            raise ValueError(
+                "template_timeout_s must be > 0 when set "
+                f"(got {self.template_timeout_s})"
             )
 
     def iteration_seeds(self):

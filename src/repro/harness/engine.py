@@ -21,6 +21,15 @@ configuration render byte-identical text/CSV/HTML reports.
 Every run also assembles a :class:`RunMetrics` (attached to the report):
 per-phase wall time, compile-cache hit rate, per-worker busy time and
 failure-kind counters — the observability side of the scale-out work.
+
+Resilience: every policy funnels work units through
+:func:`run_unit_resilient` — bounded retry with exponential backoff for
+harness faults (injected or real), degrading to a HARNESS_ERROR-marked
+result once the budget is exhausted — and :class:`ProcessEngine`
+additionally survives worker death by respawning its pool and re-running
+only the lost units (serial fallback after :data:`MAX_POOL_DEATHS` broken
+pools).  A healed run is byte-identical to a fault-free run of the same
+configuration, because retries replay the same config-derived seeds.
 """
 
 from __future__ import annotations
@@ -28,9 +37,14 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.harness.config import EXECUTION_POLICIES, HarnessConfig
 
@@ -41,6 +55,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: ordered (TestResult, worker id) pairs, one per template
 EngineOutcomes = List[Tuple["TestResult", str]]
+
+#: broken process pools tolerated before ProcessEngine falls back to
+#: running the remaining units serially in the parent
+MAX_POOL_DEATHS = 3
 
 
 @dataclass
@@ -83,6 +101,70 @@ class RunMetrics:
 
 
 # ---------------------------------------------------------------------------
+# the retry layer: every policy funnels work units through here
+# ---------------------------------------------------------------------------
+
+
+def harness_error_result(template: "TestTemplate",
+                         error: Optional[BaseException]) -> "TestResult":
+    """A TestResult marking a unit the *harness* failed to run.
+
+    The suite keeps going: one HARNESS_ERROR row in the report instead of
+    an aborted process, so a large campaign's bookkeeping survives
+    infrastructure faults and triage can separate them from compiler bugs.
+    """
+    from repro.harness.runner import PhaseResult, TestResult
+
+    detail = repr(error) if error is not None else "unknown harness fault"
+    phase = PhaseResult(mode="functional", source="",
+                        harness_error=f"harness gave up on this unit: {detail}")
+    return TestResult(template=template, functional=phase)
+
+
+def run_unit_resilient(runner: "ValidationRunner", template: "TestTemplate",
+                       base_attempt: int = 0) -> "TestResult":
+    """Run one work unit under the config's bounded retry budget.
+
+    Any exception escaping ``run_template`` is a *harness* fault (test
+    verdicts — wrong values, crashes, step-budget timeouts — are values,
+    not exceptions): injected faults, internal compiler crashes, template
+    wall-clock timeouts, or genuine harness bugs.  Each is retried with
+    exponential backoff (``retry_backoff_s * 2**n`` via the runner's
+    injectable sleeper) and, once the budget is exhausted, degraded to a
+    HARNESS_ERROR-marked result.  Never raises.
+
+    ``base_attempt`` threads the engine-level attempt number (pool
+    respawns) into the fault injector so transient injected faults do not
+    re-fire on re-runs.
+    """
+    config = runner.config
+    tracer = runner.tracer
+    unit_key = f"{template.feature}:{template.language}"
+    error: Optional[BaseException] = None
+    for n in range(config.retries + 1):
+        attempt = base_attempt + n
+        try:
+            with runner.faults.attempt(unit_key, attempt):
+                return runner.run_template(template)
+        except Exception as err:
+            error = err
+            if n >= config.retries:
+                break
+            if tracer.enabled:
+                tracer.event("engine.retry", template=unit_key,
+                             attempt=attempt, error=repr(err))
+                tracer.metrics.counter("engine.retry").inc()
+            backoff = config.retry_backoff_s * (2 ** n)
+            if backoff > 0:
+                runner.sleeper(backoff)
+    if tracer.enabled:
+        tracer.event("engine.harness_error", template=unit_key,
+                     error=repr(error))
+        tracer.metrics.counter("engine.harness_error").inc()
+    return harness_error_result(template, error)
+
+
+# ---------------------------------------------------------------------------
 # policies
 # ---------------------------------------------------------------------------
 
@@ -98,7 +180,7 @@ class SerialEngine:
     def run(self, templates: Sequence["TestTemplate"],
             runner: "ValidationRunner") -> EngineOutcomes:
         worker = "main"
-        return [(runner.run_template(t), worker) for t in templates]
+        return [(run_unit_resilient(runner, t), worker) for t in templates]
 
 
 class ThreadEngine:
@@ -116,7 +198,8 @@ class ThreadEngine:
 
         def unit(payload: Tuple[int, "TestTemplate"]):
             index, template = payload
-            return index, runner.run_template(template), threading.current_thread().name
+            result = run_unit_resilient(runner, template)
+            return index, result, threading.current_thread().name
 
         with ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="harness"
@@ -150,17 +233,32 @@ def _process_worker_init(behavior: "CompilerBehavior", config: HarnessConfig,
     _WORKER_RUNNER = ValidationRunner(behavior, config, tracer=tracer)
 
 
-def _process_run_unit(payload: Tuple[int, "TestTemplate"]):
-    index, template = payload
-    result = _WORKER_RUNNER.run_template(template)
-    tracer = _WORKER_RUNNER.tracer
+def _process_run_unit(payload: Tuple[int, "TestTemplate", int]):
+    index, template, attempt = payload
+    runner = _WORKER_RUNNER
+    unit_key = f"{template.feature}:{template.language}"
+    if runner.faults.worker_site(unit_key, attempt):
+        # injected worker death: hard-exit so the parent sees exactly what
+        # a crashed node/process looks like (BrokenProcessPool)
+        os._exit(78)
+    result = run_unit_resilient(runner, template, base_attempt=attempt)
+    tracer = runner.tracer
     trace_payload = tracer.drain() if tracer.enabled else None
     return index, result, f"pid-{os.getpid()}", trace_payload
 
 
 class ProcessEngine:
-    """A process pool; work units pickle ``(index, template)`` only and ship
-    back a finished result plus (when tracing) the unit's trace payload."""
+    """A process pool; work units pickle ``(index, template, attempt)`` only
+    and ship back a finished result plus (when tracing) the unit's trace
+    payload.
+
+    Survives worker death: a broken pool is respawned and only the lost
+    units are re-submitted (with a bumped attempt number, so injected
+    transient deaths do not recur).  After :data:`MAX_POOL_DEATHS` broken
+    pools the engine stops trusting process isolation and runs whatever is
+    left serially in the parent — degraded throughput, never a crashed
+    suite.
+    """
 
     policy = "process"
 
@@ -172,22 +270,66 @@ class ProcessEngine:
         if not templates:
             return []
         tracer = runner.tracer
-        payloads = list(enumerate(templates))
-        chunksize = max(1, len(payloads) // (self.workers * 4))
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_process_worker_init,
-            initargs=(runner.behavior, runner.config,
-                      tracer.profile if tracer.enabled else None),
-        ) as pool:
-            raw = list(pool.map(_process_run_unit, payloads, chunksize=chunksize))
-        raw.sort(key=lambda item: item[0])
+        initargs = (runner.behavior, runner.config,
+                    tracer.profile if tracer.enabled else None)
+        #: template index -> engine-level attempt number
+        pending: Dict[int, int] = {i: 0 for i in range(len(templates))}
+        done: Dict[int, Tuple["TestResult", str, Optional[dict]]] = {}
+        pool_deaths = 0
+        while pending and pool_deaths <= MAX_POOL_DEATHS:
+            broken = False
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_process_worker_init,
+                initargs=initargs,
+            ) as pool:
+                futures = {
+                    pool.submit(_process_run_unit,
+                                (i, templates[i], attempt)): i
+                    for i, attempt in sorted(pending.items())
+                }
+                for future in as_completed(futures):
+                    try:
+                        index, result, worker, trace_payload = future.result()
+                    except BrokenExecutor:
+                        # a worker died; this unit (and every other unit
+                        # still in flight or queued) was lost with the pool
+                        broken = True
+                        continue
+                    except Exception as err:  # unpicklable result etc.
+                        index = futures[future]
+                        done[index] = (
+                            harness_error_result(templates[index], err),
+                            "pool", None,
+                        )
+                        pending.pop(index, None)
+                        continue
+                    done[index] = (result, worker, trace_payload)
+                    pending.pop(index, None)
+            if broken:
+                pool_deaths += 1
+                if tracer.enabled:
+                    tracer.event("engine.worker_lost",
+                                 lost_units=len(pending),
+                                 pool_deaths=pool_deaths)
+                    tracer.metrics.counter("engine.worker_lost").inc()
+                pending = {i: attempt + 1 for i, attempt in pending.items()}
+        if pending and tracer.enabled:
+            tracer.event("engine.serial_fallback", units=len(pending),
+                         pool_deaths=pool_deaths)
+        for i, attempt in sorted(pending.items()):
+            # serial fallback: the pool kept dying, run the rest in-process
+            done[i] = (
+                run_unit_resilient(runner, templates[i], base_attempt=attempt),
+                "fallback", None,
+            )
         # adopt worker traces in template order so event sequencing is
         # deterministic; run_suite re-parents the unit roots afterwards
-        for _, _, worker, trace_payload in raw:
+        for i in range(len(templates)):
+            _, worker, trace_payload = done[i]
             if trace_payload is not None:
                 tracer.adopt(trace_payload, worker=worker)
-        return [(result, worker) for _, result, worker, _ in raw]
+        return [(done[i][0], done[i][1]) for i in range(len(templates))]
 
 
 _ENGINES = {
@@ -234,7 +376,9 @@ def build_metrics(
         busy = metrics.worker_busy_s.setdefault(worker, 0.0)
         metrics.worker_busy_s[worker] = busy + result.elapsed_s
         for phase in (result.functional, result.cross):
-            if phase is None:
+            if phase is None or phase.harness_error is not None:
+                # the unit never reached the compiler: charging a cache
+                # miss or phase timings would skew the real counters
                 continue
             metrics.compile_s += phase.compile_s
             metrics.execute_s += phase.run_s

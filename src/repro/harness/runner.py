@@ -30,9 +30,11 @@ from repro.compiler import (
     CompileError,
     Compiler,
     CompilerBehavior,
+    CompilerCrashError,
     ExecutionLimits,
 )
 from repro.compiler.cache import CompileCache
+from repro.faults import FaultInjector, FaultyCompiler, NULL_INJECTOR
 from repro.harness.config import HarnessConfig
 from repro.harness.stats import certainty
 from repro.obs import NULL_TRACER
@@ -45,6 +47,27 @@ class FailureKind(Enum):
     WRONG_VALUE = "wrong_value"
     RUNTIME_CRASH = "runtime_crash"
     TIMEOUT = "timeout"
+    #: the harness (not the implementation under test) failed on this unit
+    #: and exhausted its retry budget — infrastructure, not a compiler bug
+    HARNESS_ERROR = "harness_error"
+
+
+class EmptySelectionError(ValueError):
+    """A suite run selected zero templates.
+
+    Mirrors the ``iterations=0`` guard: a run over nothing would print
+    ``overall: 0.00% pass`` and exit cleanly, silently validating nothing.
+    """
+
+
+class TemplateTimeout(RuntimeError):
+    """A template exceeded its wall-clock budget (``template_timeout_s``).
+
+    Distinct from the interpreter step budget (the paper's "executes
+    forever" TIMEOUT verdict): this is the *harness* giving up on a stalled
+    unit, checked cooperatively between iterations, and is handled by the
+    engine's retry layer rather than classified as a test result.
+    """
 
 
 @dataclass
@@ -72,6 +95,9 @@ class PhaseResult:
     source: str
     compile_error: Optional[str] = None
     iterations: List[IterationOutcome] = field(default_factory=list)
+    #: set when the harness itself failed on this unit (retries exhausted);
+    #: never the implementation's fault — see FailureKind.HARNESS_ERROR
+    harness_error: Optional[str] = None
     #: instrumentation (feeds engine.RunMetrics; never rendered in reports,
     #: so serial and parallel reports stay byte-identical)
     compile_s: float = 0.0
@@ -80,15 +106,21 @@ class PhaseResult:
 
     @property
     def incorrect_runs(self) -> int:
-        if self.compile_error is not None:
+        if self.compile_error is not None or self.harness_error is not None:
             return len(self.iterations) or 1
         return sum(1 for it in self.iterations if not it.ok)
 
     @property
     def all_correct(self) -> bool:
-        return self.compile_error is None and all(it.ok for it in self.iterations)
+        return (
+            self.compile_error is None
+            and self.harness_error is None
+            and all(it.ok for it in self.iterations)
+        )
 
     def dominant_failure(self) -> Optional[FailureKind]:
+        if self.harness_error is not None:
+            return FailureKind.HARNESS_ERROR
         if self.compile_error is not None:
             return FailureKind.COMPILE_ERROR
         for it in self.iterations:
@@ -97,6 +129,8 @@ class PhaseResult:
         return None
 
     def failure_detail(self) -> str:
+        if self.harness_error is not None:
+            return self.harness_error
         if self.compile_error is not None:
             return self.compile_error
         for it in self.iterations:
@@ -215,6 +249,15 @@ class ValidationRunner:
         self.cache = cache
         #: a repro.obs.Tracer; the default NULL_TRACER records nothing
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: the retry layer's backoff sleep — injectable so tests are instant
+        self.sleeper = time.sleep
+        #: fault injector built from the config's plan (NULL_INJECTOR = off)
+        plan = self.config.fault_plan
+        if plan is not None and plan.active:
+            self.faults = FaultInjector(plan)
+            self.compiler = FaultyCompiler(self.compiler, self.faults)
+        else:
+            self.faults = NULL_INJECTOR
 
     @property
     def behavior(self) -> CompilerBehavior:
@@ -225,15 +268,20 @@ class ValidationRunner:
     def run_template(self, template: TestTemplate) -> TestResult:
         tracer = self.tracer
         tkey = f"{template.feature}:{template.language}"
+        timeout = self.config.template_timeout_s
+        deadline = time.monotonic() + timeout if timeout is not None else None
         with tracer.span("template", key=tkey) as span:
-            functional = self._run_phase(template, "functional", tkey)
+            functional = self._run_phase(template, "functional", tkey,
+                                         deadline=deadline)
             cross: Optional[PhaseResult] = None
             if (
                 self.config.run_cross
                 and functional.all_correct
                 and template.has_cross
             ):
-                cross = self._run_phase(template, "cross", tkey)
+                self._check_deadline(deadline, tkey)
+                cross = self._run_phase(template, "cross", tkey,
+                                        deadline=deadline)
             result = TestResult(
                 template=template, functional=functional, cross=cross
             )
@@ -264,6 +312,15 @@ class ValidationRunner:
                 features=config.features,
                 prefixes=config.feature_prefixes,
             )
+        templates = list(templates)
+        if not templates:
+            raise EmptySelectionError(
+                "suite selection matched no templates "
+                f"(languages={list(config.languages)!r}, "
+                f"features={config.features!r}, "
+                f"prefixes={config.feature_prefixes!r}): a run over nothing "
+                "would report a vacuous 0.00% pass and validate nothing"
+            )
         from repro.harness.engine import build_metrics, create_engine
 
         engine = create_engine(config.policy, config.workers)
@@ -276,7 +333,7 @@ class ValidationRunner:
             policy=engine.policy, workers=engine.workers,
         ) as root:
             start = time.perf_counter()
-            outcomes = engine.run(list(templates), self)
+            outcomes = engine.run(templates, self)
             report.elapsed_s = time.perf_counter() - start
         # spans recorded off the main thread (thread pools) or adopted from
         # worker processes have no parent: stitch them under this run's root
@@ -301,7 +358,8 @@ class ValidationRunner:
     # -------------------------------------------------------------- internals
 
     def _run_phase(self, template: TestTemplate, mode: str,
-                   tkey: Optional[str] = None) -> PhaseResult:
+                   tkey: Optional[str] = None,
+                   deadline: Optional[float] = None) -> PhaseResult:
         if mode == "functional":
             generated = generate_functional(template)
         else:
@@ -321,6 +379,11 @@ class ValidationRunner:
                         tracer=tracer if tracer.enabled else None,
                     )
                     phase.cache_hit = outcome.hit
+                    if isinstance(outcome.error, CompilerCrashError):
+                        # infrastructure fault, not a diagnostic: escalate
+                        # to the engine's retry layer instead of charging
+                        # the implementation with a COMPILE_ERROR verdict
+                        raise outcome.error
                     if outcome.error is not None:
                         phase.compile_error = str(outcome.error)
                     else:
@@ -341,11 +404,13 @@ class ValidationRunner:
             limits = ExecutionLimits(max_steps=self.config.max_steps)
             env_vars = template.environment or None
             with tracer.span("execute", key=pkey) as execute_span:
-                for seed in self.config.iteration_seeds():
+                for k, seed in enumerate(self.config.iteration_seeds()):
+                    self.faults.iteration_site(f"{pkey}:{k}")
                     outcome = self._run_once(compiled, env_vars, limits, seed)
                     phase.iterations.append(outcome)
                     if tracer.enabled:
                         self._observe_iteration(pkey, seed, outcome)
+                    self._check_deadline(deadline, pkey)
             phase.run_s = execute_span.duration
             if tracer.enabled:
                 execute_span.set(iterations=len(phase.iterations),
@@ -359,6 +424,19 @@ class ValidationRunner:
                         queue_waits=sum(it.queue_waits for it in its),
                     )
         return phase
+
+    @staticmethod
+    def _check_deadline(deadline: Optional[float], key: str) -> None:
+        """Cooperative wall-clock budget check (between iterations/phases).
+
+        In-process execution cannot be preempted, so a stalled iteration is
+        detected once it returns; a dead worker process is the engine's
+        problem (pool respawn), not this check's.
+        """
+        if deadline is not None and time.monotonic() > deadline:
+            raise TemplateTimeout(
+                f"template {key} exceeded its wall-clock budget"
+            )
 
     def _observe_iteration(self, pkey: str, seed: int,
                            outcome: IterationOutcome) -> None:

@@ -18,13 +18,14 @@ upgrades.
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import CompilerBehavior
 from repro.harness.config import HarnessConfig
-from repro.harness.runner import SuiteRunReport, ValidationRunner
+from repro.harness.runner import FailureKind, SuiteRunReport, ValidationRunner
 from repro.obs import NULL_TRACER
 from repro.spec.devices import ACC_DEVICE_NVIDIA, ACC_DEVICE_OPENCL
 from repro.suite.registry import SuiteRegistry
@@ -90,6 +91,16 @@ class StackCheck:
         """Would the production harness flag this node/stack?"""
         return bool(self.report.failures())
 
+    @property
+    def harness_errors(self) -> int:
+        """Failures charged to the harness itself (infrastructure), not the
+        stack under test — the triage axis the quarantine logic cares
+        about when fault injection or real flakiness is in play."""
+        return sum(
+            1 for r in self.report.results
+            if r.failure_kind is FailureKind.HARNESS_ERROR
+        )
+
 
 class TitanCluster:
     """A set of nodes, some degraded, each carrying both software stacks."""
@@ -104,7 +115,14 @@ class TitanCluster:
     ):
         rng = random.Random(seed)
         self.nodes: List[Node] = []
-        n_degraded = round(num_nodes * degraded_fraction)
+        self._stacks_factory = stacks_factory
+        # ceil, not round: banker's rounding made e.g. 2 nodes at fraction
+        # 0.25 produce *zero* degraded nodes — any nonzero fraction must
+        # degrade at least one node.  (round(x, 9) first kills float fuzz
+        # like 30 * 0.1 == 3.0000000000000004 before the ceil.)
+        n_degraded = min(
+            num_nodes, math.ceil(round(num_nodes * degraded_fraction, 9))
+        )
         degraded_ids = set(rng.sample(range(num_nodes), n_degraded))
         for node_id in range(num_nodes):
             stacks = stacks_factory()
@@ -125,9 +143,39 @@ class TitanCluster:
             else:
                 node.stacks[stack] = default_degradation(new_behavior, node.node_id)
 
+    def heal(self, node_id: int) -> None:
+        """Repair a degraded node (hardware swap / driver fix): it comes
+        back healthy with factory-default stacks, so a subsequent recovery
+        probe can release it from quarantine."""
+        node = self.nodes[node_id]
+        node.healthy = True
+        node.stacks = self._stacks_factory()
+
+
+@dataclass
+class QuarantineRecord:
+    """One quarantined node: what flagged it and how often it was probed."""
+
+    node_id: int
+    stack: str
+    detail: str
+    #: recovery probes run so far (timeline epochs)
+    probes: int = 0
+
 
 class TitanHarness:
-    """Random-node validation sweeps and longitudinal tracking."""
+    """Random-node validation sweeps and longitudinal tracking.
+
+    Triage (the resilience layer's production face): a flagged node/stack
+    is re-checked ``recheck`` times to separate *transient* faults (flaky
+    interconnect, a worker death the retry budget did not cover) from
+    *persistent* degradation.  Persistently flagged nodes land on the
+    quarantine list, are excluded from subsequent sweep samples, and get a
+    recovery probe at each :meth:`timeline` epoch so repaired nodes rejoin
+    the pool.  When *every* sampled check of a stack is flagged, the stack
+    itself (a cluster-wide compiler rollout) is the suspect — no node is
+    quarantined for it.
+    """
 
     def __init__(
         self,
@@ -136,6 +184,7 @@ class TitanHarness:
         config: Optional[HarnessConfig] = None,
         feature_prefixes: Optional[Sequence[str]] = None,
         tracer=None,
+        recheck: int = 1,
     ):
         self.cluster = cluster
         self.suite = suite
@@ -145,9 +194,31 @@ class TitanHarness:
             self.config.feature_prefixes = feature_prefixes
         #: a repro.obs.Tracer shared by every node check of this harness
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: times a flagged node/stack is re-checked before quarantining
+        self.recheck = max(0, recheck)
+        #: node id -> QuarantineRecord for persistently flagged nodes
+        self.quarantined: Dict[int, QuarantineRecord] = {}
 
-    def check_node(self, node: Node, stack: str) -> StackCheck:
-        runner = ValidationRunner(node.stacks[stack], self.config,
+    def _recheck_config(self, offset: int) -> HarnessConfig:
+        """The config for a re-check / recovery probe.
+
+        When a fault plan is active, the probe counts as a *later attempt*
+        of every unit (``attempt_offset``), so transient injected faults —
+        by definition — do not recur, while persistent ones do.
+        """
+        plan = self.config.fault_plan
+        if plan is None or offset == 0:
+            return self.config
+        return replace(
+            self.config,
+            fault_plan=replace(plan,
+                               attempt_offset=plan.attempt_offset + offset),
+        )
+
+    def check_node(self, node: Node, stack: str,
+                   config: Optional[HarnessConfig] = None) -> StackCheck:
+        runner = ValidationRunner(node.stacks[stack],
+                                  config or self.config,
                                   tracer=self.tracer)
         report = runner.run_suite(self.suite)
         check = StackCheck(
@@ -166,9 +237,16 @@ class TitanHarness:
 
     def sweep(self, sample_size: int, seed: int = 0,
               stacks: Sequence[str] = (STACK_CUDA, STACK_OPENCL)) -> List[StackCheck]:
-        """Validate a random node sample across the given stacks."""
+        """Validate a random node sample across the given stacks.
+
+        Quarantined nodes are excluded from the sample; flagged checks are
+        triaged (re-checked, then quarantined or written off as transient)
+        before the sweep returns.
+        """
         rng = random.Random(seed)
-        sample = rng.sample(self.cluster.nodes, min(sample_size, len(self.cluster.nodes)))
+        eligible = [n for n in self.cluster.nodes
+                    if n.node_id not in self.quarantined]
+        sample = rng.sample(eligible, min(sample_size, len(eligible)))
         checks: List[StackCheck] = []
         with self.tracer.span("titan.sweep", key=f"seed={seed}",
                               sample=len(sample)) as span:
@@ -179,9 +257,92 @@ class TitanHarness:
                         healthy=node.healthy,
                     ):
                         checks.append(self.check_node(node, stack))
-        span.set(checks=len(checks),
-                 flagged=sum(1 for c in checks if c.flagged))
+            quarantined = self._triage(checks)
+            # attributes must be set before __exit__: a drained/serialized
+            # trace only carries what the span held when it closed
+            span.set(checks=len(checks),
+                     flagged=sum(1 for c in checks if c.flagged),
+                     quarantined=quarantined)
         return checks
+
+    def _triage(self, checks: Sequence[StackCheck]) -> int:
+        """Re-check flagged nodes; quarantine the persistently degraded.
+
+        Returns the number of nodes quarantined by this sweep.
+        """
+        flagged = [c for c in checks if c.flagged]
+        if not flagged:
+            return 0
+        # if every sampled check of a stack failed, suspect the stack (a
+        # cluster-wide rollout regression), not the individual nodes
+        suspect_stacks = set()
+        for stack in {c.stack for c in checks}:
+            pool = [c for c in checks if c.stack == stack]
+            if len(pool) > 1 and all(c.flagged for c in pool):
+                suspect_stacks.add(stack)
+                if self.tracer.enabled:
+                    self.tracer.event("titan.stack_suspect", stack=stack,
+                                      checks=len(pool))
+        nodes_by_id = {n.node_id: n for n in self.cluster.nodes}
+        quarantined = 0
+        for check in flagged:
+            if check.stack in suspect_stacks:
+                continue
+            if check.node_id in self.quarantined:
+                continue
+            node = nodes_by_id[check.node_id]
+            persistent = True
+            for r in range(self.recheck):
+                if self.tracer.enabled:
+                    self.tracer.metrics.counter("titan.rechecks").inc()
+                again = self.check_node(node, check.stack,
+                                        config=self._recheck_config(r + 1))
+                if not again.flagged:
+                    persistent = False
+                    break
+            if persistent:
+                self.quarantined[check.node_id] = QuarantineRecord(
+                    node_id=check.node_id, stack=check.stack,
+                    detail=(f"{len(check.report.failures())} failures, "
+                            f"{check.harness_errors} harness errors"),
+                )
+                quarantined += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "titan.quarantined", node=check.node_id,
+                        stack=check.stack, healthy=check.healthy,
+                        harness_errors=check.harness_errors,
+                    )
+                    self.tracer.metrics.counter("titan.quarantined").inc()
+            elif self.tracer.enabled:
+                self.tracer.event("titan.flag_transient", node=check.node_id,
+                                  stack=check.stack)
+                self.tracer.metrics.counter("titan.transient").inc()
+        return quarantined
+
+    def probe_quarantined(self, epoch: int = 0) -> List[int]:
+        """Recovery probes: re-validate quarantined nodes; release the ones
+        that come back clean.  Returns the recovered node ids."""
+        recovered: List[int] = []
+        nodes_by_id = {n.node_id: n for n in self.cluster.nodes}
+        for node_id, record in sorted(self.quarantined.items()):
+            record.probes += 1
+            check = self.check_node(
+                nodes_by_id[node_id], record.stack,
+                config=self._recheck_config(self.recheck + 1 + epoch),
+            )
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("titan.probes").inc()
+            if not check.flagged:
+                recovered.append(node_id)
+                if self.tracer.enabled:
+                    self.tracer.event("titan.recovered", node=node_id,
+                                      stack=record.stack,
+                                      probes=record.probes)
+                    self.tracer.metrics.counter("titan.recovered").inc()
+        for node_id in recovered:
+            del self.quarantined[node_id]
+        return recovered
 
     def timeline(
         self,
@@ -194,13 +355,17 @@ class TitanHarness:
 
         ``upgrades`` maps an epoch index to a (stack, behaviour) rollout
         applied before that epoch's sweep — regressions and fixes in the
-        rolled-out compiler show up as rate changes.
+        rolled-out compiler show up as rate changes.  Each epoch starts
+        with recovery probes of the quarantine list, so repaired nodes
+        rejoin the sampling pool; the per-epoch record tracks the list's
+        size.
         """
         records: List[Dict[str, float]] = []
         for epoch in range(epochs):
             if upgrades and epoch in upgrades:
                 stack, behavior = upgrades[epoch]
                 self.cluster.upgrade_stack(stack, behavior)
+            recovered = self.probe_quarantined(epoch)
             checks = self.sweep(sample_size, seed=seed + epoch)
             record: Dict[str, float] = {"epoch": float(epoch)}
             for stack in (STACK_CUDA, STACK_OPENCL):
@@ -210,5 +375,7 @@ class TitanHarness:
                 record[f"{stack}:flagged"] = float(
                     sum(1 for c in pool if c.flagged)
                 )
+            record["quarantined"] = float(len(self.quarantined))
+            record["recovered"] = float(len(recovered))
             records.append(record)
         return records

@@ -56,3 +56,23 @@ class TestPassRateSweeps:
         ]
         # Fortran gains exactly the 8.1.7 fix
         assert series[5].pass_rate >= series[4].pass_rate
+
+    def test_shared_config_not_mutated(self, suite10):
+        # run_vendor_version used to assign config.languages in place,
+        # leaving the caller's (often shared) config pinned to the last
+        # language it happened to run
+        config = HarnessConfig(iterations=1, run_cross=False)
+        before = tuple(config.languages)
+        run_vendor_version(vendor_version("caps", "3.3.4"), "c",
+                           suite10, config)
+        assert tuple(config.languages) == before
+
+    def test_sweep_leaves_config_reusable(self, suite10):
+        config = HarnessConfig(iterations=1, run_cross=False)
+        vendor_pass_rates("caps", suite10, config, languages=("c",))
+        assert tuple(config.languages) == ("c", "fortran")
+        # the untouched config still drives a fortran point correctly
+        point = run_vendor_version(vendor_version("caps", "3.3.4"),
+                                   "fortran", suite10, config)
+        assert point.language == "fortran"
+        assert point.tests == len(suite10.for_language("fortran"))

@@ -100,6 +100,41 @@ class TestValidate:
                   "--iterations", "1", "--workers", "0"])
         assert "must be >= 1" in capsys.readouterr().err
 
+    def test_empty_selection_exits_nonzero(self, capsys):
+        # used to print an empty 0.00% report and exit 0 — a vacuous pass
+        code = main(["validate", "--features", "no.such.prefix",
+                     "--language", "c", "--iterations", "1"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "matched no templates" in captured.err
+        assert "no.such.prefix" in captured.err
+
+    def test_inject_faults_with_retries_heals(self, capsys):
+        code = main(["validate", "--features", "wait", "--language", "c",
+                     "--iterations", "1", "--no-cross", "--retries", "2",
+                     "--inject-faults", "iteration=1.0,seed=7"])
+        assert code == 0
+        assert "100.00% pass" in capsys.readouterr().out
+
+    def test_inject_faults_persistent_exits_two(self, capsys):
+        code = main(["validate", "--features", "wait", "--language", "c",
+                     "--iterations", "1", "--no-cross", "--retries", "1",
+                     "--inject-faults", "iteration=1.0,seed=7,persistent"])
+        assert code == 2
+        assert "harness_error" in capsys.readouterr().out
+
+    def test_inject_faults_rejects_bad_spec(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["validate", "--features", "wait", "--language", "c",
+                  "--inject-faults", "warp=0.5"])
+        assert "warp" in capsys.readouterr().err
+
+    def test_rejects_bad_timeout(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["validate", "--features", "wait", "--language", "c",
+                  "--timeout-s", "0"])
+        assert "must be > 0" in capsys.readouterr().err
+
 
 class TestTitanCommand:
     def test_titan_sweep(self, capsys):
@@ -107,3 +142,9 @@ class TestTitanCommand:
                      "--degraded", "0.34"]) == 0
         out = capsys.readouterr().out
         assert "node" in out and "checks flagged" in out
+
+    def test_titan_quarantine_summary(self, capsys):
+        assert main(["titan", "--nodes", "4", "--sample", "4",
+                     "--degraded", "0.5", "--recheck", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined after 1 recheck(s)" in out

@@ -14,6 +14,7 @@ from repro.compiler import CompileCache, Compiler, CompilerBehavior
 from repro.compiler.vendors import vendor_version
 from repro.harness import (
     EXECUTION_POLICIES,
+    EmptySelectionError,
     HarnessConfig,
     RunMetrics,
     ValidationRunner,
@@ -121,12 +122,14 @@ class TestPolicyEquivalence:
     def test_all_policies_registered(self):
         assert set(EXECUTION_POLICIES) == {"serial", "thread", "process"}
 
-    def test_engine_handles_empty_selection(self):
+    def test_empty_selection_raises(self):
+        # a selection matching nothing used to yield an empty report — a
+        # vacuous 100%-equivalent pass; it must be refused loudly
         config = HarnessConfig(policy="process", workers=2,
                                features=["no.such.feature"])
-        report = ValidationRunner(_BUGGY, config).run_suite(openacc10_suite())
-        assert report.results == []
-        assert report.metrics.templates == 0
+        runner = ValidationRunner(_BUGGY, config)
+        with pytest.raises(EmptySelectionError, match="no.such.feature"):
+            runner.run_suite(openacc10_suite())
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,33 @@ class TestCluster:
         degraded = [n for n in cluster.nodes if not n.healthy]
         assert len(degraded) == 5
 
+    @pytest.mark.parametrize("num_nodes,fraction,expected", [
+        (1, 0.25, 1),   # round() gave 0: a "degraded" cluster with no
+        (2, 0.25, 1),   # degraded node (banker's rounding of 0.5)
+        (3, 0.10, 1),
+        (4, 0.25, 1),
+        (6, 0.34, 3),
+        (30, 0.10, 3),  # float fuzz: 30*0.1 = 3.0000000000000004
+        (5, 0.0, 0),
+        (3, 1.0, 3),
+    ])
+    def test_degraded_count_small_clusters(self, num_nodes, fraction,
+                                           expected):
+        # any nonzero fraction must degrade at least one node — the whole
+        # point of a degraded cluster fixture is that something is broken
+        cluster = TitanCluster(num_nodes=num_nodes,
+                               degraded_fraction=fraction, seed=1)
+        degraded = [n for n in cluster.nodes if not n.healthy]
+        assert len(degraded) == expected
+
+    def test_heal_restores_factory_stacks(self):
+        cluster = TitanCluster(num_nodes=4, degraded_fraction=1.0, seed=1)
+        node = cluster.nodes[2]
+        assert not node.healthy
+        cluster.heal(node.node_id)
+        assert node.healthy
+        assert node.stacks == default_stacks()
+
     def test_deterministic_construction(self):
         a = TitanCluster(num_nodes=10, seed=3)
         b = TitanCluster(num_nodes=10, seed=3)
@@ -87,3 +114,32 @@ class TestHarness:
         assert records[0][STACK_CUDA] == 100.0
         assert records[1][STACK_CUDA] < 100.0
         assert records[2][STACK_CUDA] == 100.0
+        # a cluster-wide stack regression must not quarantine the nodes:
+        # every sampled check of the stack failing points at the rollout
+        assert all(r["quarantined"] == 0.0 for r in records)
+
+    def test_sweep_span_attributes_survive_roundtrip(self, tmp_path):
+        # span.set() used to run after the span closed, so drained and
+        # serialized traces carried a titan.sweep span with no checks or
+        # flagged attributes
+        from repro.obs import Tracer, read_trace, write_trace
+
+        cluster = TitanCluster(num_nodes=4, degraded_fraction=0.5, seed=7)
+        tracer = Tracer()
+        harness = TitanHarness(
+            cluster, openacc10_suite(),
+            config=HarnessConfig(iterations=1, run_cross=False,
+                                 languages=("c",)),
+            feature_prefixes=["update"],
+            tracer=tracer,
+        )
+        checks = harness.sweep(sample_size=4, seed=0, stacks=(STACK_CUDA,))
+        path = tmp_path / "titan.jsonl"
+        write_trace(str(path), tracer)
+        trace = read_trace(str(path))
+        sweep_spans = [s for s in trace.spans if s.name == "titan.sweep"]
+        assert len(sweep_spans) == 1
+        span = sweep_spans[0]
+        assert span.attrs["checks"] == len(checks)
+        assert span.attrs["flagged"] == sum(1 for c in checks if c.flagged)
+        assert span.attrs["quarantined"] == len(harness.quarantined)
