@@ -14,7 +14,10 @@ Section III (compiler configuration, feature selection, result formats):
 * ``repro titan`` — a Section VII production sweep on the simulated
   cluster;
 * ``repro trace`` — summarize or render a trace recorded with
-  ``validate/titan --trace FILE.jsonl [--profile]``.
+  ``validate/titan --trace FILE.jsonl [--profile]``;
+* ``repro journal inspect`` — examine the crash-safe campaign journal
+  written by ``validate/titan --journal FILE`` (resumable with
+  ``--resume FILE``).
 
 Invoke as ``python -m repro <command> ...``.
 """
@@ -22,14 +25,16 @@ Invoke as ``python -m repro <command> ...``.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
 from repro.analysis import table1_counts, vendor_pass_rates
 from repro.compiler import Compiler, CompilerBehavior
 from repro.compiler.vendors import VENDORS, vendor_version
-from repro.faults import FaultPlan
+from repro.faults import FaultPlan, InjectedJournalTear
 from repro.harness import (
+    CampaignInterrupted,
     EXECUTION_POLICIES,
     EmptySelectionError,
     HarnessConfig,
@@ -40,7 +45,10 @@ from repro.harness import (
     render_metrics_csv,
     render_metrics_text,
     render_text,
+    request_drain,
+    reset_drain,
 )
+from repro.ioutil import atomic_write_text
 from repro.spec.features import OPENACC_10
 from repro.suite import openacc10_suite
 from repro.templates import generate_cross, generate_functional
@@ -117,6 +125,61 @@ def _finish_trace(args, tracer, **meta) -> None:
     print(f"wrote {args.trace}")
 
 
+def _open_journal(args, campaign: dict, faults, tracer):
+    """Create or resume the campaign journal per ``--journal``/``--resume``.
+
+    Returns None when neither flag was given.  Journal load/mismatch
+    problems surface as :class:`~repro.journal.JournalError` — the caller
+    maps them to exit code 1.
+    """
+    from repro.journal import JournalWriter
+
+    if args.resume:
+        return JournalWriter.resume(args.resume, campaign,
+                                    tracer=tracer, faults=faults)
+    if args.journal:
+        return JournalWriter.create(args.journal, campaign,
+                                    tracer=tracer, faults=faults)
+    return None
+
+
+def _install_drain_handlers() -> list:
+    """Route SIGINT/SIGTERM to a graceful drain while a journal is active.
+
+    The engines finish in-flight units (each journaled on completion) and
+    raise :class:`CampaignInterrupted`; the command then exits 3 with a
+    resume hint instead of dying mid-write.  Returns the displaced
+    handlers for :func:`_restore_handlers`; empty when not in the main
+    thread (signals cannot be installed there — the drain still works via
+    injected faults, just not via Ctrl-C).
+    """
+    reset_drain()
+    displaced = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            displaced.append((signum, signal.signal(signum, request_drain)))
+        except ValueError:  # not the main thread (e.g. tests)
+            break
+    return displaced
+
+
+def _restore_handlers(displaced: list) -> None:
+    for signum, handler in displaced:
+        try:
+            signal.signal(signum, handler)
+        except ValueError:
+            pass
+
+
+def _resumable_notice(journal, command: str) -> int:
+    """Close the journal and tell the user how to pick the campaign up."""
+    journal.close()
+    done = len(journal.records)
+    print(f"interrupted: {done} unit(s) journaled; resume with "
+          f"`repro {command} --resume {journal.path}`", file=sys.stderr)
+    return 3
+
+
 def _behavior(args) -> CompilerBehavior:
     if args.vendor:
         return vendor_version(args.vendor, args.version).behavior(args.language)
@@ -182,14 +245,34 @@ def cmd_validate(args) -> int:
     else:
         suite = openacc10_suite()
     tracer = _make_tracer(args)
-    runner = ValidationRunner(_behavior(args), _config(args), tracer=tracer)
+    behavior = _behavior(args)
+    config = _config(args)
+    runner = ValidationRunner(behavior, config, tracer=tracer)
+    journal = None
+    displaced: list = []
+    if args.journal or args.resume:
+        from repro.journal import JournalError, validate_campaign_key
+
+        campaign = validate_campaign_key(args.suite, behavior, config)
+        try:
+            journal = _open_journal(args, campaign, runner.faults, tracer)
+        except JournalError as err:
+            print(f"journal error: {err}", file=sys.stderr)
+            return 1
+        displaced = _install_drain_handlers()
     try:
-        report = runner.run_suite(suite)
+        report = runner.run_suite(suite, journal=journal)
     except EmptySelectionError as err:
         # an empty selection used to produce an empty report and exit 0 —
         # a vacuous pass that silently blessed typo'd --features filters
         print(f"error: {err}", file=sys.stderr)
         return 1
+    except (CampaignInterrupted, InjectedJournalTear):
+        return _resumable_notice(journal, "validate")
+    finally:
+        _restore_handlers(displaced)
+        if journal is not None:
+            journal.close()
     renderer = {
         "text": render_text,
         "html": render_html,
@@ -198,8 +281,7 @@ def cmd_validate(args) -> int:
     }[args.format]
     output = renderer(report)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(output)
+        atomic_write_text(args.output, output)
         print(f"wrote {args.output}")
     else:
         print(output)
@@ -212,8 +294,7 @@ def cmd_validate(args) -> int:
             # sidecar next to it, matching the report's format
             suffix = ".metrics.csv" if args.format == "csv" else ".metrics.txt"
             metrics_path = args.output + suffix
-            with open(metrics_path, "w") as handle:
-                handle.write(render_metrics(report) + "\n")
+            atomic_write_text(metrics_path, render_metrics(report) + "\n")
             print(f"wrote {metrics_path}")
         else:
             print(render_metrics(report))
@@ -254,17 +335,44 @@ def cmd_titan(args) -> int:
     tracer = _make_tracer(args)
     cluster = TitanCluster(num_nodes=args.nodes,
                            degraded_fraction=args.degraded, seed=args.seed)
+    config = HarnessConfig(iterations=1, run_cross=False, languages=("c",),
+                           retries=args.retries,
+                           template_timeout_s=args.timeout_s,
+                           fault_plan=args.inject_faults)
+    journal = None
+    displaced: list = []
+    if args.journal or args.resume:
+        from repro.faults import FaultInjector, NULL_INJECTOR
+        from repro.journal import JournalError, titan_campaign_key
+
+        campaign = titan_campaign_key(
+            config, nodes=args.nodes, degraded=args.degraded,
+            seed=args.seed, sample=args.sample, recheck=args.recheck)
+        plan = args.inject_faults
+        faults = (FaultInjector(plan) if plan is not None and plan.active
+                  else NULL_INJECTOR)
+        try:
+            journal = _open_journal(args, campaign, faults, tracer)
+        except JournalError as err:
+            print(f"journal error: {err}", file=sys.stderr)
+            return 1
+        displaced = _install_drain_handlers()
     harness = TitanHarness(
         cluster, openacc10_suite(),
-        config=HarnessConfig(iterations=1, run_cross=False, languages=("c",),
-                             retries=args.retries,
-                             template_timeout_s=args.timeout_s,
-                             fault_plan=args.inject_faults),
+        config=config,
         feature_prefixes=["parallel", "update"],
         tracer=tracer,
         recheck=args.recheck,
+        journal=journal,
     )
-    checks = harness.sweep(sample_size=args.sample, seed=args.seed)
+    try:
+        checks = harness.sweep(sample_size=args.sample, seed=args.seed)
+    except (CampaignInterrupted, InjectedJournalTear):
+        return _resumable_notice(journal, "titan")
+    finally:
+        _restore_handlers(displaced)
+        if journal is not None:
+            journal.close()
     for check in checks:
         status = "FLAGGED" if check.flagged else "ok"
         print(f"node {check.node_id:3d} {check.stack:15s} "
@@ -292,21 +400,67 @@ def cmd_trace(args) -> int:
     )
 
     try:
-        trace = read_trace(args.file)
+        # tolerant mode: a trace with a torn tail (the traced process was
+        # killed mid-write) still summarizes, with the damage counted
+        trace = read_trace(args.file, strict=False)
     except (OSError, ValueError) as err:
         print(f"cannot read trace {args.file!r}: {err}", file=sys.stderr)
         return 1
+    if trace.malformed:
+        print(f"warning: skipped {trace.malformed} malformed trace line(s) "
+              "(torn tail?)", file=sys.stderr)
     if args.trace_command == "summarize":
         print(render_summary_text(summarize_trace(trace, top=args.top)))
     else:  # html
         page = render_trace_html(trace)
         if args.output:
-            with open(args.output, "w") as handle:
-                handle.write(page)
+            atomic_write_text(args.output, page)
             print(f"wrote {args.output}")
         else:
             print(page)
     return 0
+
+
+def cmd_journal(args) -> int:
+    from repro.journal import JournalError, read_journal
+
+    try:
+        loaded = read_journal(args.file)
+    except JournalError as err:
+        print(f"journal error: {err}", file=sys.stderr)
+        return 1
+    campaign = loaded.campaign
+    print(f"journal    {loaded.path}")
+    print(f"format     {campaign.get('format', '?')}")
+    print(f"command    {campaign.get('command', '?')}")
+    print(f"code       {campaign.get('code_version', '?')}")
+    for key in ("suite", "compiler", "nodes", "sample", "seed"):
+        if key in campaign:
+            print(f"{key:10s} {campaign[key]}")
+    print(f"units      {len(loaded.records)} journaled")
+    print(f"resumes    {loaded.resumes} (generation {loaded.generation})")
+    if loaded.torn_bytes:
+        print(f"torn tail  {loaded.torn_bytes} byte(s) — will be truncated "
+              "on resume")
+    else:
+        print("torn tail  none (clean shutdown)")
+    if args.units:
+        for unit in sorted(loaded.records):
+            print(f"  {unit}")
+    return 0
+
+
+def _add_journal_flags(p) -> None:
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--journal", metavar="FILE",
+                       help="write a crash-safe campaign journal: every "
+                            "completed unit is appended and fsync'd, so a "
+                            "SIGKILL loses at most the unit in flight")
+    group.add_argument("--resume", metavar="FILE",
+                       help="resume an interrupted campaign from its "
+                            "journal: intact records are replayed, only "
+                            "missing units re-run, and the final report is "
+                            "byte-identical to an uninterrupted run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -361,13 +515,14 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SPEC",
                    help="deterministic fault injection, e.g. "
                         "'worker=0.5,iteration=0.2,seed=7' (sites: compile, "
-                        "iteration, worker, stall; modifiers: seed, "
+                        "iteration, worker, stall, journal; modifiers: seed, "
                         "stall-s, max-fires, persistent)")
     p.add_argument("--trace", metavar="FILE",
                    help="record a span/event/metrics trace to FILE (JSONL)")
     p.add_argument("--profile", action="store_true",
                    help="add accsim profiling (iteration steps, bytes "
                         "moved, async-queue waits) to the trace")
+    _add_journal_flags(p)
 
     p = sub.add_parser("sweep", help="Fig. 8-style pass-rate sweep")
     p.add_argument("vendor", choices=list(VENDORS))
@@ -401,6 +556,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a span/event/metrics trace to FILE (JSONL)")
     p.add_argument("--profile", action="store_true",
                    help="add accsim profiling to the trace")
+    _add_journal_flags(p)
+
+    p = sub.add_parser("journal", help="inspect a campaign journal")
+    jsub = p.add_subparsers(dest="journal_command", required=True)
+    ji = jsub.add_parser("inspect",
+                         help="header, journaled units, resume generations "
+                              "and torn-tail status of a journal file")
+    ji.add_argument("file")
+    ji.add_argument("--units", action="store_true",
+                    help="also list the journaled unit keys")
 
     p = sub.add_parser("trace", help="inspect a recorded trace file")
     tsub = p.add_subparsers(dest="trace_command", required=True)
@@ -448,6 +613,7 @@ _COMMANDS = {
     "table1": cmd_table1,
     "titan": cmd_titan,
     "trace": cmd_trace,
+    "journal": cmd_journal,
 }
 
 

@@ -18,7 +18,10 @@ Sites (each checked at a well-defined point in the execution layer):
 * ``worker`` — a process-pool worker dies mid-unit (``os._exit``); only
   fired inside process workers;
 * ``stall`` — a wall-clock stall before an iteration, long enough to trip
-  the per-template timeout.
+  the per-template timeout;
+* ``journal`` — a torn write mid-journal-append (half the record reaches
+  the disk, then the simulated crash escapes), the test vector for the
+  durable-campaign resume path.
 
 Determinism guarantee: whether a site fires depends only on
 ``(plan.seed, site, key, attempt)`` — never on scheduling, wall-clock or
@@ -33,6 +36,7 @@ from repro.faults.injector import (
     FaultyCompiler,
     InjectedCompilerCrash,
     InjectedFault,
+    InjectedJournalTear,
     InjectedRuntimeCrash,
     NULL_INJECTOR,
     NullInjector,
@@ -41,6 +45,7 @@ from repro.faults.injector import (
 __all__ = [
     "FAULT_SITES", "FaultPlan",
     "FaultInjector", "FaultyCompiler",
-    "InjectedCompilerCrash", "InjectedFault", "InjectedRuntimeCrash",
+    "InjectedCompilerCrash", "InjectedFault", "InjectedJournalTear",
+    "InjectedRuntimeCrash",
     "NULL_INJECTOR", "NullInjector",
 ]

@@ -45,6 +45,15 @@ class InjectedRuntimeCrash(InjectedFault):
     site = "iteration"
 
 
+class InjectedJournalTear(InjectedFault):
+    """A simulated crash mid-journal-append: the writer leaves a torn
+    (half-written, unterminated) record on disk and this escapes to the
+    top level like the process dying would.  The resume path's torn-tail
+    truncation is what heals it."""
+
+    site = "journal"
+
+
 class FaultInjector:
     """Fires the sites of one :class:`~repro.faults.plan.FaultPlan`.
 
@@ -113,6 +122,14 @@ class FaultInjector:
         return self.fires("worker", self.plan.worker_death, key,
                           attempt=attempt)
 
+    def journal_site(self, key: str, generation: int) -> bool:
+        """Should this journal append tear?  (The JournalWriter performs
+        the partial write and raises :class:`InjectedJournalTear`.)  The
+        journal's resume generation is the attempt number, so a torn
+        write does not recur after the campaign is resumed."""
+        return self.fires("journal", self.plan.journal_torn, key,
+                          attempt=generation)
+
 
 class NullInjector:
     """The default injector: nothing ever fires, nothing is allocated."""
@@ -138,6 +155,9 @@ class NullInjector:
         pass
 
     def worker_site(self, key: str, attempt: int) -> bool:
+        return False
+
+    def journal_site(self, key: str, generation: int) -> bool:
         return False
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 #: named injection sites, in documentation order
-FAULT_SITES = ("compile", "iteration", "worker", "stall")
+FAULT_SITES = ("compile", "iteration", "worker", "stall", "journal")
 
 #: parse() aliases: CLI token -> dataclass field
 _SITE_FIELDS = {
@@ -19,6 +19,7 @@ _SITE_FIELDS = {
     "iteration": "iteration_crash",
     "worker": "worker_death",
     "stall": "stall",
+    "journal": "journal_torn",
 }
 _OPTION_FIELDS = {
     "seed": ("seed", int),
@@ -54,6 +55,11 @@ class FaultPlan:
     worker_death: float = 0.0
     #: rate of wall-clock stalls, per (template, phase, iteration)
     stall: float = 0.0
+    #: rate of torn journal writes (a simulated crash mid-append: half the
+    #: record reaches the disk, then the process "dies"), per work unit;
+    #: the attempt number is the journal's resume generation, so a torn
+    #: write is transient across resumes unless ``persistent``
+    journal_torn: float = 0.0
     #: how long one injected stall sleeps
     stall_s: float = 0.05
     #: attempts of a unit that observe its faults (1 = transient)
@@ -65,7 +71,7 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         for name in ("compile_crash", "iteration_crash", "worker_death",
-                     "stall"):
+                     "stall", "journal_torn"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(
@@ -86,7 +92,7 @@ class FaultPlan:
         return any(
             getattr(self, field) > 0.0
             for field in ("compile_crash", "iteration_crash", "worker_death",
-                          "stall")
+                          "stall", "journal_torn")
         )
 
     @classmethod
@@ -153,5 +159,5 @@ class FaultPlan:
 assert set(_SITE_FIELDS) == set(FAULT_SITES)
 assert all(f.name in {
     "seed", "compile_crash", "iteration_crash", "worker_death", "stall",
-    "stall_s", "max_fires", "attempt_offset", "persistent",
+    "journal_torn", "stall_s", "max_fires", "attempt_offset", "persistent",
 } for f in fields(FaultPlan))

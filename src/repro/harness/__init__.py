@@ -10,10 +10,14 @@ Section VII (random-node validation across software stacks).
 
 from repro.harness.config import EXECUTION_POLICIES, HarnessConfig
 from repro.harness.engine import (
+    CampaignInterrupted,
     MAX_POOL_DEATHS,
     RunMetrics,
     create_engine,
+    drain_requested,
     harness_error_result,
+    request_drain,
+    reset_drain,
     run_unit_resilient,
 )
 from repro.harness.stats import (
@@ -49,8 +53,9 @@ from repro.harness.titan import (
 
 __all__ = [
     "EXECUTION_POLICIES", "HarnessConfig",
-    "MAX_POOL_DEATHS", "RunMetrics", "create_engine",
-    "harness_error_result", "run_unit_resilient",
+    "CampaignInterrupted", "MAX_POOL_DEATHS", "RunMetrics", "create_engine",
+    "drain_requested", "harness_error_result", "request_drain",
+    "reset_drain", "run_unit_resilient",
     "accidental_pass_probability", "certainty", "cross_fail_probability",
     "EmptySelectionError", "FailureKind", "IterationOutcome", "PhaseResult",
     "SuiteRunReport", "TemplateTimeout", "TestResult", "ValidationRunner",

@@ -30,11 +30,21 @@ additionally survives worker death by respawning its pool and re-running
 only the lost units (serial fallback after :data:`MAX_POOL_DEATHS` broken
 pools).  A healed run is byte-identical to a fault-free run of the same
 configuration, because retries replay the same config-derived seeds.
+
+Durability: every policy reports each finished unit through an optional
+per-unit completion callback, invoked from the coordinating thread in
+completion order — the hook :mod:`repro.journal` uses to append fsync'd
+records the moment results exist.  A graceful drain (:func:`request_drain`,
+installed as the SIGINT/SIGTERM handler for journaled campaigns) makes
+engines finish their in-flight units and raise
+:class:`CampaignInterrupted` instead of starting new ones, so an
+interrupted campaign exits with everything completed so far journaled.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
 from concurrent.futures import (
@@ -44,7 +54,7 @@ from concurrent.futures import (
     as_completed,
 )
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.harness.config import EXECUTION_POLICIES, HarnessConfig
 
@@ -56,9 +66,53 @@ if TYPE_CHECKING:  # pragma: no cover
 #: ordered (TestResult, worker id) pairs, one per template
 EngineOutcomes = List[Tuple["TestResult", str]]
 
+#: per-unit completion callback: (index into the engine's template list,
+#: template, finished result) — invoked by every policy from the
+#: *coordinating* thread, in completion order, exactly once per unit.
+#: This is the journal's hook: appends happen the moment a result exists.
+UnitCallback = Callable[[int, "TestTemplate", "TestResult"], None]
+
 #: broken process pools tolerated before ProcessEngine falls back to
 #: running the remaining units serially in the parent
 MAX_POOL_DEATHS = 3
+
+
+# ---------------------------------------------------------------------------
+# graceful drain (SIGINT/SIGTERM -> finish in-flight units, then stop)
+# ---------------------------------------------------------------------------
+
+_DRAIN = threading.Event()
+
+
+class CampaignInterrupted(RuntimeError):
+    """A graceful drain was requested (SIGINT/SIGTERM) and the engine
+    stopped dispatching work.  Completed units were already handed to the
+    completion callback (journaled); the campaign is resumable."""
+
+
+def request_drain(signum: Optional[int] = None, frame=None) -> None:
+    """Ask every running engine to stop after its in-flight units.
+
+    Signature is signal-handler compatible, so the CLI installs it
+    directly for SIGINT/SIGTERM on journaled campaigns.
+    """
+    _DRAIN.set()
+
+
+def drain_requested() -> bool:
+    return _DRAIN.is_set()
+
+
+def reset_drain() -> None:
+    _DRAIN.clear()
+
+
+def _check_drain() -> None:
+    if _DRAIN.is_set():
+        raise CampaignInterrupted(
+            "graceful drain requested (SIGINT/SIGTERM): in-flight units "
+            "finished, remaining units not started"
+        )
 
 
 @dataclass
@@ -178,9 +232,17 @@ class SerialEngine:
         self.workers = 1  # serial by definition
 
     def run(self, templates: Sequence["TestTemplate"],
-            runner: "ValidationRunner") -> EngineOutcomes:
+            runner: "ValidationRunner",
+            on_complete: Optional[UnitCallback] = None) -> EngineOutcomes:
         worker = "main"
-        return [(run_unit_resilient(runner, t), worker) for t in templates]
+        outcomes: EngineOutcomes = []
+        for index, template in enumerate(templates):
+            _check_drain()
+            result = run_unit_resilient(runner, template)
+            outcomes.append((result, worker))
+            if on_complete is not None:
+                on_complete(index, template, result)
+        return outcomes
 
 
 class ThreadEngine:
@@ -192,19 +254,36 @@ class ThreadEngine:
         self.workers = workers
 
     def run(self, templates: Sequence["TestTemplate"],
-            runner: "ValidationRunner") -> EngineOutcomes:
+            runner: "ValidationRunner",
+            on_complete: Optional[UnitCallback] = None) -> EngineOutcomes:
         if not templates:
             return []
+        _check_drain()
 
         def unit(payload: Tuple[int, "TestTemplate"]):
             index, template = payload
             result = run_unit_resilient(runner, template)
             return index, result, threading.current_thread().name
 
+        raw = []
         with ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="harness"
         ) as pool:
-            raw = list(pool.map(unit, enumerate(templates)))
+            futures = [pool.submit(unit, item) for item in enumerate(templates)]
+            try:
+                # completion order, in this (coordinating) thread: the
+                # journal callback sees each result the moment it exists
+                for future in as_completed(futures):
+                    index, result, worker = future.result()
+                    raw.append((index, result, worker))
+                    if on_complete is not None:
+                        on_complete(index, templates[index], result)
+                    _check_drain()
+            except BaseException:
+                # drain or a callback failure (e.g. an injected journal
+                # tear): drop queued units, let in-flight ones finish
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
         raw.sort(key=lambda item: item[0])
         return [(result, worker) for _, result, worker in raw]
 
@@ -225,6 +304,13 @@ def _process_worker_init(behavior: "CompilerBehavior", config: HarnessConfig,
     global _WORKER_RUNNER
     from repro.harness.runner import ValidationRunner
 
+    # the parent coordinates graceful drains (and Ctrl-C reaches the whole
+    # foreground process group): workers ignore SIGINT so an interactive
+    # interrupt cannot masquerade as a BrokenProcessPool worker death
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     tracer = None
     if trace_profile is not None:
         from repro.obs import Tracer
@@ -266,9 +352,11 @@ class ProcessEngine:
         self.workers = workers
 
     def run(self, templates: Sequence["TestTemplate"],
-            runner: "ValidationRunner") -> EngineOutcomes:
+            runner: "ValidationRunner",
+            on_complete: Optional[UnitCallback] = None) -> EngineOutcomes:
         if not templates:
             return []
+        _check_drain()
         tracer = runner.tracer
         initargs = (runner.behavior, runner.config,
                     tracer.profile if tracer.enabled else None)
@@ -288,24 +376,32 @@ class ProcessEngine:
                                 (i, templates[i], attempt)): i
                     for i, attempt in sorted(pending.items())
                 }
-                for future in as_completed(futures):
-                    try:
-                        index, result, worker, trace_payload = future.result()
-                    except BrokenExecutor:
-                        # a worker died; this unit (and every other unit
-                        # still in flight or queued) was lost with the pool
-                        broken = True
-                        continue
-                    except Exception as err:  # unpicklable result etc.
-                        index = futures[future]
-                        done[index] = (
-                            harness_error_result(templates[index], err),
-                            "pool", None,
-                        )
+                try:
+                    for future in as_completed(futures):
+                        try:
+                            index, result, worker, trace_payload = future.result()
+                        except BrokenExecutor:
+                            # a worker died; this unit (and every other unit
+                            # still in flight or queued) was lost with the pool
+                            broken = True
+                            continue
+                        except Exception as err:  # unpicklable result etc.
+                            index = futures[future]
+                            result, worker, trace_payload = (
+                                harness_error_result(templates[index], err),
+                                "pool", None,
+                            )
+                        done[index] = (result, worker, trace_payload)
                         pending.pop(index, None)
-                        continue
-                    done[index] = (result, worker, trace_payload)
-                    pending.pop(index, None)
+                        if on_complete is not None:
+                            # results ship back to this (parent) process as
+                            # they finish; the journal append happens here,
+                            # before any more completions are awaited
+                            on_complete(index, templates[index], result)
+                        _check_drain()
+                except BaseException:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
             if broken:
                 pool_deaths += 1
                 if tracer.enabled:
@@ -319,10 +415,12 @@ class ProcessEngine:
                          pool_deaths=pool_deaths)
         for i, attempt in sorted(pending.items()):
             # serial fallback: the pool kept dying, run the rest in-process
-            done[i] = (
-                run_unit_resilient(runner, templates[i], base_attempt=attempt),
-                "fallback", None,
-            )
+            _check_drain()
+            result = run_unit_resilient(runner, templates[i],
+                                        base_attempt=attempt)
+            done[i] = (result, "fallback", None)
+            if on_complete is not None:
+                on_complete(i, templates[i], result)
         # adopt worker traces in template order so event sequencing is
         # deterministic; run_suite re-parents the unit roots afterwards
         for i in range(len(templates)):

@@ -7,7 +7,9 @@ vendors' convenience".
 
 from __future__ import annotations
 
+import csv
 import html as _html
+import io
 from typing import List, Optional
 
 from repro.harness.runner import SuiteRunReport, TestResult
@@ -54,40 +56,57 @@ def render_text(report: SuiteRunReport) -> str:
 
 
 def render_csv(report: SuiteRunReport) -> str:
-    """Machine-readable CSV (one row per test)."""
-    rows = ["feature,language,result,failure_kind,certainty,cross_conclusive"]
+    """Machine-readable CSV (one row per test).
+
+    Built with the stdlib ``csv`` writer, not string interpolation: a
+    feature name or failure detail containing a comma, quote or newline is
+    quoted per RFC 4180 instead of silently corrupting the table.
+    ``lineterminator`` is pinned to ``\\n`` to keep reports byte-stable
+    across platforms (the module defaults to ``\\r\\n``).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["feature", "language", "result", "failure_kind",
+                     "certainty", "cross_conclusive", "detail"])
     for r in report.results:
         kind = r.failure_kind.value if r.failure_kind else ""
         conclusive = "" if r.cross_conclusive is None else str(r.cross_conclusive).lower()
-        rows.append(
-            f"{r.feature},{r.language},{'pass' if r.passed else 'fail'},"
-            f"{kind},{r.certainty:.4f},{conclusive}"
-        )
-    return "\n".join(rows) + "\n"
+        detail = "" if r.passed else r.functional.failure_detail()
+        writer.writerow([r.feature, r.language,
+                         "pass" if r.passed else "fail",
+                         kind, f"{r.certainty:.4f}", conclusive, detail])
+    return buffer.getvalue()
 
 
 def render_html(report: SuiteRunReport) -> str:
-    """Self-contained HTML report."""
+    """Self-contained HTML report.
+
+    Every interpolated field goes through ``html.escape`` — including
+    ``r.language`` and the *formatted* numeric strings.  Numbers are
+    formatted first and the resulting text escaped, so even a value whose
+    ``__format__`` emits markup cannot break out of its table cell.
+    """
     rows = []
     for r in report.results:
         status = "pass" if r.passed else "fail"
         detail = r.functional.failure_detail() if not r.passed else ""
+        cells = [
+            _html.escape(str(r.feature)),
+            _html.escape(str(r.language)),
+            _html.escape(status.upper()),
+            _html.escape(f"{r.certainty:.2%}"),
+            _html.escape(detail[:120]),
+        ]
         rows.append(
-            "<tr class='{cls}'><td>{feature}</td><td>{lang}</td>"
-            "<td>{status}</td><td>{certainty:.2%}</td><td>{detail}</td></tr>".format(
-                cls=status,
-                feature=_html.escape(r.feature),
-                lang=r.language,
-                status=status.upper(),
-                certainty=r.certainty,
-                detail=_html.escape(detail[:120]),
-            )
+            f"<tr class='{status}'>"
+            + "".join(f"<td>{cell}</td>" for cell in cells)
+            + "</tr>"
         )
-    summary = " | ".join(
+    summary = _html.escape(" | ".join(
         f"{lang}: {report.pass_rate(lang):.1f}%"
         for lang in ("c", "fortran")
         if report.for_language(lang)
-    )
+    ))
     return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8">
 <title>OpenACC validation — {_html.escape(report.compiler_label)}</title>
@@ -100,7 +119,7 @@ def render_html(report: SuiteRunReport) -> str:
 </style></head>
 <body>
 <h1>OpenACC validation report — {_html.escape(report.compiler_label)}</h1>
-<p>{len(report.results)} tests, {report.config.iterations} iterations each.
+<p>{_html.escape(str(len(report.results)))} tests, {_html.escape(str(report.config.iterations))} iterations each.
 Pass rates: {summary}</p>
 <table>
 <tr><th>feature</th><th>language</th><th>result</th><th>certainty</th><th>detail</th></tr>
@@ -144,25 +163,28 @@ def render_metrics_text(report: SuiteRunReport) -> str:
 
 
 def render_metrics_csv(report: SuiteRunReport) -> str:
-    """Engine/run metrics as ``metric,value`` rows."""
+    """Engine/run metrics as ``metric,value`` rows (stdlib ``csv`` writer,
+    same quoting and ``\\n`` line-terminator rules as :func:`render_csv`)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["metric", "value"])
     m = report.metrics
     if m is None:
-        return "metric,value\n"
-    rows = ["metric,value"]
-    rows.append(f"policy,{m.policy}")
-    rows.append(f"workers,{m.workers}")
-    rows.append(f"wall_s,{m.wall_s:.6f}")
-    rows.append(f"compile_s,{m.compile_s:.6f}")
-    rows.append(f"execute_s,{m.execute_s:.6f}")
-    rows.append(f"templates,{m.templates}")
-    rows.append(f"iterations_run,{m.iterations_run}")
-    rows.append(f"cache_hits,{m.cache_hits}")
-    rows.append(f"cache_misses,{m.cache_misses}")
-    rows.append(f"cache_hit_rate,{m.cache_hit_rate:.4f}")
-    rows.append(f"worker_utilization,{m.worker_utilization:.4f}")
+        return buffer.getvalue()
+    writer.writerow(["policy", m.policy])
+    writer.writerow(["workers", m.workers])
+    writer.writerow(["wall_s", f"{m.wall_s:.6f}"])
+    writer.writerow(["compile_s", f"{m.compile_s:.6f}"])
+    writer.writerow(["execute_s", f"{m.execute_s:.6f}"])
+    writer.writerow(["templates", m.templates])
+    writer.writerow(["iterations_run", m.iterations_run])
+    writer.writerow(["cache_hits", m.cache_hits])
+    writer.writerow(["cache_misses", m.cache_misses])
+    writer.writerow(["cache_hit_rate", f"{m.cache_hit_rate:.4f}"])
+    writer.writerow(["worker_utilization", f"{m.worker_utilization:.4f}"])
     for kind, count in sorted(m.failure_kinds.items()):
-        rows.append(f"failures.{kind},{count}")
-    return "\n".join(rows) + "\n"
+        writer.writerow([f"failures.{kind}", count])
+    return buffer.getvalue()
 
 
 def render_bug_report(report: SuiteRunReport, max_snippet_lines: int = 40) -> str:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.accsim.errors import AccRuntimeError, ExecutionTimeout
 from repro.compiler import (
@@ -304,7 +304,16 @@ class ValidationRunner:
         self,
         suite: SuiteRegistry,
         templates: Optional[Iterable[TestTemplate]] = None,
+        journal=None,
     ) -> SuiteRunReport:
+        """Run the (selected) suite; see class docstring.
+
+        ``journal`` is an optional :class:`repro.journal.JournalWriter`:
+        units with an intact journal record are *replayed* (never re-run),
+        and every freshly-run unit is appended — fsync'd — the moment its
+        engine reports completion, making the campaign resumable after a
+        crash at any instant.
+        """
         config = self.config
         if templates is None:
             templates = suite.select(
@@ -328,16 +337,50 @@ class ValidationRunner:
             compiler_label=self.behavior.label, config=config
         )
         tracer = self.tracer
+
+        # -- journal replay: partition into replayed and still-pending units
+        replayed: Dict[int, TestResult] = {}
+        on_complete = None
+        if journal is not None:
+            from repro.journal import decode_result, encode_result, unit_keys
+
+            keys = unit_keys(templates)
+            for i, (template, key) in enumerate(zip(templates, keys)):
+                payload = journal.get(key)
+                if payload is not None:
+                    replayed[i] = decode_result(payload, template)
+            if replayed and tracer.enabled:
+                tracer.event("journal.replayed", units=len(replayed))
+                tracer.metrics.counter("journal.replayed").inc(len(replayed))
+            pending_keys = [keys[i] for i in range(len(templates))
+                            if i not in replayed]
+
+            def on_complete(index, template, result):
+                journal.append(pending_keys[index], encode_result(result))
+
+        pending = [templates[i] for i in range(len(templates))
+                   if i not in replayed]
         with tracer.span(
             "run", key=self.behavior.label,
             policy=engine.policy, workers=engine.workers,
         ) as root:
             start = time.perf_counter()
-            outcomes = engine.run(templates, self)
+            outcomes = engine.run(pending, self, on_complete=on_complete)
             report.elapsed_s = time.perf_counter() - start
         # spans recorded off the main thread (thread pools) or adopted from
         # worker processes have no parent: stitch them under this run's root
         tracer.reparent_orphans(root)
+        if replayed:
+            # merge back in template order; replayed units are attributed
+            # to the "journal" pseudo-worker in the run metrics
+            merged: List[Tuple[TestResult, str]] = []
+            fresh = iter(outcomes)
+            for i in range(len(templates)):
+                if i in replayed:
+                    merged.append((replayed[i], "journal"))
+                else:
+                    merged.append(next(fresh))
+            outcomes = merged
         report.results = [result for result, _ in outcomes]
         report.metrics = build_metrics(
             report, engine.policy, engine.workers, outcomes

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import CompilerBehavior
 from repro.harness.config import HarnessConfig
+from repro.harness.engine import _check_drain
 from repro.harness.runner import FailureKind, SuiteRunReport, ValidationRunner
 from repro.obs import NULL_TRACER
 from repro.spec.devices import ACC_DEVICE_NVIDIA, ACC_DEVICE_OPENCL
@@ -185,6 +186,7 @@ class TitanHarness:
         feature_prefixes: Optional[Sequence[str]] = None,
         tracer=None,
         recheck: int = 1,
+        journal=None,
     ):
         self.cluster = cluster
         self.suite = suite
@@ -198,6 +200,12 @@ class TitanHarness:
         self.recheck = max(0, recheck)
         #: node id -> QuarantineRecord for persistently flagged nodes
         self.quarantined: Dict[int, QuarantineRecord] = {}
+        #: optional repro.journal.JournalWriter — every node/stack check
+        #: (sweep, triage re-check, recovery probe) becomes one durable
+        #: work unit, so a killed campaign resumes without re-validating
+        #: nodes it already checked
+        self.journal = journal
+        self._template_map: Optional[Dict[str, object]] = None
 
     def _recheck_config(self, offset: int) -> HarnessConfig:
         """The config for a re-check / recovery probe.
@@ -215,8 +223,33 @@ class TitanHarness:
                                attempt_offset=plan.attempt_offset + offset),
         )
 
+    def _templates_by_key(self) -> Dict[str, object]:
+        if self._template_map is None:
+            from repro.journal import template_map
+
+            self._template_map = template_map(self.suite, self.config)
+        return self._template_map
+
     def check_node(self, node: Node, stack: str,
-                   config: Optional[HarnessConfig] = None) -> StackCheck:
+                   config: Optional[HarnessConfig] = None,
+                   unit: Optional[str] = None) -> StackCheck:
+        """Validate one stack on one node (one durable work unit).
+
+        ``unit`` is the journal key for this check; sweeps, triage
+        re-checks and recovery probes label their checks distinctly so a
+        resumed campaign replays exactly the checks the interrupted one
+        completed.
+        """
+        unit = unit or f"sweep:node{node.node_id}:{stack}"
+        if self.journal is not None:
+            payload = self.journal.get(unit)
+            if payload is not None:
+                from repro.journal import decode_check
+
+                if self.tracer.enabled:
+                    self.tracer.metrics.counter("journal.replayed").inc()
+                return decode_check(payload, self._templates_by_key(),
+                                    config or self.config)
         runner = ValidationRunner(node.stacks[stack],
                                   config or self.config,
                                   tracer=self.tracer)
@@ -225,6 +258,10 @@ class TitanHarness:
             node_id=node.node_id, stack=stack, healthy=node.healthy,
             report=report,
         )
+        if self.journal is not None:
+            from repro.journal import encode_check
+
+            self.journal.append(unit, encode_check(check))
         if self.tracer.enabled:
             self.tracer.metrics.counter("titan.checks").inc()
             if check.flagged:
@@ -252,6 +289,7 @@ class TitanHarness:
                               sample=len(sample)) as span:
             for node in sample:
                 for stack in stacks:
+                    _check_drain()
                     with self.tracer.span(
                         "titan.check", key=f"node{node.node_id}:{stack}",
                         healthy=node.healthy,
@@ -293,10 +331,14 @@ class TitanHarness:
             node = nodes_by_id[check.node_id]
             persistent = True
             for r in range(self.recheck):
+                _check_drain()
                 if self.tracer.enabled:
                     self.tracer.metrics.counter("titan.rechecks").inc()
-                again = self.check_node(node, check.stack,
-                                        config=self._recheck_config(r + 1))
+                again = self.check_node(
+                    node, check.stack,
+                    config=self._recheck_config(r + 1),
+                    unit=f"recheck{r + 1}:node{check.node_id}:{check.stack}",
+                )
                 if not again.flagged:
                     persistent = False
                     break
@@ -326,10 +368,12 @@ class TitanHarness:
         recovered: List[int] = []
         nodes_by_id = {n.node_id: n for n in self.cluster.nodes}
         for node_id, record in sorted(self.quarantined.items()):
+            _check_drain()
             record.probes += 1
             check = self.check_node(
                 nodes_by_id[node_id], record.stack,
                 config=self._recheck_config(self.recheck + 1 + epoch),
+                unit=f"probe{epoch}:node{node_id}:{record.stack}",
             )
             if self.tracer.enabled:
                 self.tracer.metrics.counter("titan.probes").inc()

@@ -1,0 +1,62 @@
+"""Crash-safe file I/O helpers.
+
+Every artifact the harness writes — reports, traces, metrics sidecars,
+journal headers — goes through :func:`atomic_write_text`, so an observer
+(a CI step, a dashboard scraper, a resumed campaign) can never read a
+half-written file.  The recipe is the classic POSIX one:
+
+1. write the full payload to a temporary file *in the target directory*
+   (same filesystem, so the final rename cannot degrade to a copy);
+2. flush and ``fsync`` the temporary file (the data is on disk, not just
+   in the page cache);
+3. ``os.replace`` it over the destination (atomic on POSIX and Windows);
+4. best-effort ``fsync`` of the directory, so the rename itself survives
+   a power cut.
+
+Readers therefore see either the old complete file or the new complete
+file — never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def fsync_directory(path: str) -> None:
+    """Best-effort fsync of a directory (persists renames/creations).
+
+    Not every platform or filesystem allows opening a directory for
+    fsync; failing to harden the rename is not worth crashing over.
+    """
+    try:
+        fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + os.replace)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)

@@ -20,6 +20,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.ioutil import atomic_write_text
 from repro.obs.trace import Event, Span, TRACE_FORMAT, Tracer
 
 
@@ -55,9 +56,9 @@ def trace_to_jsonl(tracer: Tracer, meta: Optional[dict] = None) -> str:
 
 
 def write_trace(path: str, tracer: Tracer, meta: Optional[dict] = None) -> None:
-    """Write the tracer's records to ``path`` as JSONL."""
-    with open(path, "w") as handle:
-        handle.write(trace_to_jsonl(tracer, meta))
+    """Write the tracer's records to ``path`` as JSONL (atomically: a
+    crash mid-write never leaves a half-trace under the target name)."""
+    atomic_write_text(path, trace_to_jsonl(tracer, meta))
 
 
 # ---------------------------------------------------------------------------
@@ -77,6 +78,8 @@ class TraceData:
     #: name -> (count, sum, min, max)
     histograms: Dict[str, Tuple[int, float, Optional[float], Optional[float]]] = \
         field(default_factory=dict)
+    #: lines skipped in tolerant mode (torn tail, truncated records)
+    malformed: int = 0
 
     def spans_named(self, name: str) -> List[Span]:
         return [s for s in self.spans if s.name == name]
@@ -91,8 +94,17 @@ class TraceData:
         return None
 
 
-def parse_trace(text: str) -> TraceData:
-    """Parse JSONL trace text into a :class:`TraceData`."""
+def parse_trace(text: str, strict: bool = True) -> TraceData:
+    """Parse JSONL trace text into a :class:`TraceData`.
+
+    In strict mode (the default, for library callers that want loud
+    failures) any bad line raises :class:`ValueError`.  With
+    ``strict=False`` — what ``repro trace`` uses — malformed lines are
+    *counted* in :attr:`TraceData.malformed` and skipped, so a trace with
+    a torn tail (the process was SIGKILLed mid-write) still summarizes.
+    A wrong ``format`` tag in the meta header raises either way: that is
+    a different file format, not damage.
+    """
     trace = TraceData()
     for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
@@ -101,36 +113,53 @@ def parse_trace(text: str) -> TraceData:
         try:
             record = json.loads(line)
         except json.JSONDecodeError as err:
-            raise ValueError(f"trace line {lineno}: invalid JSON ({err})") from err
-        kind = record.get("type")
-        if kind == "meta":
-            fmt = record.get("format")
-            if fmt != TRACE_FORMAT:
+            if strict:
                 raise ValueError(
-                    f"trace line {lineno}: unsupported format {fmt!r} "
-                    f"(expected {TRACE_FORMAT})"
+                    f"trace line {lineno}: invalid JSON ({err})") from err
+            trace.malformed += 1
+            continue
+        kind = record.get("type") if isinstance(record, dict) else None
+        try:
+            if kind == "meta":
+                fmt = record.get("format")
+                if fmt != TRACE_FORMAT:
+                    raise ValueError(
+                        f"trace line {lineno}: unsupported format {fmt!r} "
+                        f"(expected {TRACE_FORMAT})"
+                    )
+                trace.meta = {k: v for k, v in record.items() if k != "type"}
+            elif kind == "span":
+                trace.spans.append(Span.from_dict(record))
+            elif kind == "event":
+                trace.events.append(Event.from_dict(record))
+            elif kind == "counter":
+                trace.counters[record["name"]] = record["value"]
+            elif kind == "gauge":
+                trace.gauges[record["name"]] = record["value"]
+            elif kind == "histogram":
+                trace.histograms[record["name"]] = (
+                    record["count"], record["sum"],
+                    record.get("min"), record.get("max"),
                 )
-            trace.meta = {k: v for k, v in record.items() if k != "type"}
-        elif kind == "span":
-            trace.spans.append(Span.from_dict(record))
-        elif kind == "event":
-            trace.events.append(Event.from_dict(record))
-        elif kind == "counter":
-            trace.counters[record["name"]] = record["value"]
-        elif kind == "gauge":
-            trace.gauges[record["name"]] = record["value"]
-        elif kind == "histogram":
-            trace.histograms[record["name"]] = (
-                record["count"], record["sum"],
-                record.get("min"), record.get("max"),
-            )
-        else:
-            raise ValueError(f"trace line {lineno}: unknown record type {kind!r}")
+            else:
+                raise ValueError(
+                    f"trace line {lineno}: unknown record type {kind!r}")
+        except ValueError as err:
+            # a wrong format tag is a hard error even in tolerant mode
+            if strict or "unsupported format" in str(err):
+                raise
+            trace.malformed += 1
+        except (KeyError, TypeError) as err:
+            # valid JSON missing required fields: a truncated record
+            if strict:
+                raise ValueError(
+                    f"trace line {lineno}: truncated record ({err})") from err
+            trace.malformed += 1
     trace.events.sort(key=lambda e: e.seq)
     return trace
 
 
-def read_trace(path: str) -> TraceData:
-    """Read and parse a JSONL trace file."""
+def read_trace(path: str, strict: bool = True) -> TraceData:
+    """Read and parse a JSONL trace file (see :func:`parse_trace`)."""
     with open(path) as handle:
-        return parse_trace(handle.read())
+        return parse_trace(handle.read(), strict=strict)

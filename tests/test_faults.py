@@ -151,7 +151,9 @@ class TestInjector:
         NULL_INJECTOR.iteration_site("k")  # no-op, no raise
 
     def test_sites_cover_documented_list(self):
-        assert set(FAULT_SITES) == {"compile", "iteration", "worker", "stall"}
+        assert set(FAULT_SITES) == {
+            "compile", "iteration", "worker", "stall", "journal"
+        }
 
 
 # ---------------------------------------------------------------------------

@@ -202,3 +202,48 @@ class TestReports:
         # failing reduction tests should include generated code snippets
         assert "reduction" in bug_report
         assert "#pragma acc" in bug_report
+
+    def test_csv_survives_commas_and_quotes_in_fields(self):
+        """Regression: string-interpolated CSV silently corrupted the table
+        when a feature name or failure detail contained a comma or quote —
+        the stdlib writer must quote such fields per RFC 4180."""
+        import csv as csv_mod
+        import io
+        from repro.harness.runner import (
+            IterationOutcome, PhaseResult, SuiteRunReport,
+            TestResult as _TestResult,
+        )
+        from repro.templates import TestTemplate as _TestTemplate
+
+        feature = 'data.copy,"tricky", rest'
+        detail = 'expected 1, got "0"\nsecond line'
+        template = _TestTemplate(name="t", feature=feature, language="c",
+                                 code="")
+        functional = PhaseResult(
+            mode="functional", source="int main(){}",
+            iterations=[IterationOutcome(ok=False, error=detail,
+                                         kind=FailureKind.WRONG_VALUE)],
+        )
+        report = SuiteRunReport(
+            compiler_label="demo", config=HarnessConfig(iterations=1),
+            results=[_TestResult(template=template, functional=functional)],
+        )
+        text = render_csv(report)
+        rows = list(csv_mod.reader(io.StringIO(text)))
+        header, row = rows[0], rows[1]
+        assert len(rows) == 2
+        # every row parses back to exactly the header's column count...
+        assert len(row) == len(header)
+        # ...and the poisoned fields round-trip verbatim
+        assert row[header.index("feature")] == feature
+        assert detail.split("\n")[0] in row[header.index("detail")]
+
+    def test_metrics_csv_two_columns_always(self, sample_report):
+        import csv as csv_mod
+        import io
+        from repro.harness import render_metrics_csv
+
+        text = render_metrics_csv(sample_report)
+        rows = list(csv_mod.reader(io.StringIO(text)))
+        assert rows[0] == ["metric", "value"]
+        assert all(len(row) == 2 for row in rows)

@@ -1,0 +1,520 @@
+"""Tests for the crash-safe campaign journal (``repro.journal``).
+
+Layers under test, bottom up:
+
+* the WAL itself — checksummed records, the torn-tail rule, campaign-key
+  binding, resume generations;
+* the codec — canonical campaign keys (execution knobs excluded), full
+  result round-trips;
+* the runner — replayed units are never re-run, reports come out
+  byte-identical;
+* the CLI — crash (injected torn write) and resume under every execution
+  policy, ``journal inspect``, mismatch refusal;
+* a real SIGKILL mid-campaign in a subprocess, resumed to a
+  byte-identical report.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.compiler import CompilerBehavior
+from repro.harness import (
+    HarnessConfig,
+    ValidationRunner,
+    render_csv,
+    render_text,
+    reset_drain,
+    request_drain,
+)
+from repro.journal import (
+    JOURNAL_FORMAT,
+    JournalCorruptError,
+    JournalMismatchError,
+    JournalWriter,
+    canonicalize,
+    decode_result,
+    encode_result,
+    read_journal,
+    record_line,
+    titan_campaign_key,
+    unit_keys,
+    validate_campaign_key,
+)
+from repro.suite import openacc10_suite
+
+
+@pytest.fixture(autouse=True)
+def _clean_drain():
+    reset_drain()
+    yield
+    reset_drain()
+
+
+CAMPAIGN = {"format": JOURNAL_FORMAT, "command": "validate", "suite": "1.0"}
+
+
+def _small_config(**overrides) -> HarnessConfig:
+    defaults = dict(iterations=2, languages=("c",),
+                    feature_prefixes=["parallel.if", "update"])
+    defaults.update(overrides)
+    return HarnessConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# WAL: records, torn tails, campaign binding
+# ---------------------------------------------------------------------------
+
+
+class TestWal:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        writer = JournalWriter.create(path, CAMPAIGN)
+        writer.append("a:c", {"x": 1})
+        writer.append("b:c", {"y": [1, 2]})
+        writer.close()
+        loaded = read_journal(path)
+        assert loaded.campaign == CAMPAIGN
+        assert loaded.records == {"a:c": {"x": 1}, "b:c": {"y": [1, 2]}}
+        assert loaded.resumes == 0
+        assert loaded.torn_bytes == 0
+
+    def test_last_record_wins_for_duplicate_unit(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        writer = JournalWriter.create(path, CAMPAIGN)
+        writer.append("a:c", {"x": 1})
+        writer.append("a:c", {"x": 2})
+        writer.close()
+        assert read_journal(path).records == {"a:c": {"x": 2}}
+
+    def test_torn_tail_tolerated_and_truncated_on_resume(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        writer = JournalWriter.create(path, CAMPAIGN)
+        writer.append("a:c", {"x": 1})
+        writer.close()
+        line = record_line({"type": "unit", "unit": "b:c", "payload": {}})
+        with open(path, "ab") as handle:
+            handle.write(line[: len(line) // 2])  # the crash artifact
+        loaded = read_journal(path)
+        assert loaded.records == {"a:c": {"x": 1}}
+        assert loaded.torn_bytes == len(line) // 2
+        resumed = JournalWriter.resume(path, CAMPAIGN)
+        resumed.append("b:c", {"x": 2})
+        resumed.close()
+        healed = read_journal(path)
+        assert healed.torn_bytes == 0
+        assert healed.records == {"a:c": {"x": 1}, "b:c": {"x": 2}}
+        assert healed.resumes == 1 and healed.generation == 1
+
+    def test_corruption_mid_file_is_refused(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        writer = JournalWriter.create(path, CAMPAIGN)
+        writer.append("a:c", {"x": 1})
+        writer.append("b:c", {"x": 2})
+        writer.close()
+        with open(path, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        lines[1] = lines[1].replace(b'"x"', b'"y"')  # tamper, keep checksum
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+        with pytest.raises(JournalCorruptError, match="corruption"):
+            read_journal(path)
+        with pytest.raises(JournalCorruptError):
+            JournalWriter.resume(path, CAMPAIGN)
+
+    def test_missing_or_torn_header_is_refused(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        with pytest.raises(JournalCorruptError, match="empty"):
+            read_journal(str(empty))
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(record_line(
+            {"type": "header", "format": JOURNAL_FORMAT, "campaign": {}}
+        )[:10])
+        with pytest.raises(JournalCorruptError, match="header"):
+            read_journal(str(torn))
+
+    def test_wrong_format_tag_is_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(record_line(
+            {"type": "header", "format": "other/v9", "campaign": {}}))
+        with pytest.raises(JournalCorruptError, match="header"):
+            read_journal(str(path))
+
+    def test_resume_refuses_mismatched_campaign(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        JournalWriter.create(path, CAMPAIGN).close()
+        other = dict(CAMPAIGN, suite="combinations")
+        with pytest.raises(JournalMismatchError, match="suite"):
+            JournalWriter.resume(path, other)
+
+    def test_resume_generations_accumulate(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        JournalWriter.create(path, CAMPAIGN).close()
+        for expected in (1, 2, 3):
+            writer = JournalWriter.resume(path, CAMPAIGN)
+            assert writer.generation == expected
+            writer.close()
+
+
+# ---------------------------------------------------------------------------
+# codec: campaign keys and result round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_canonicalize_json_safe(self):
+        value = canonicalize({"s": frozenset({"b", "a"}), "t": (1, 2)})
+        assert value == {"s": ["a", "b"], "t": [1, 2]}
+
+    def test_campaign_key_ignores_execution_knobs(self):
+        behavior = CompilerBehavior()
+        serial = validate_campaign_key(
+            "1.0", behavior, _small_config(policy="serial", workers=1))
+        process = validate_campaign_key(
+            "1.0", behavior, _small_config(policy="process", workers=8,
+                                           compile_cache=False))
+        # the engine guarantees byte-identical reports across policies, so
+        # a resume may switch policy — the key must not pin it
+        assert serial == process
+
+    def test_campaign_key_pins_what_changes_results(self):
+        behavior = CompilerBehavior()
+        base = validate_campaign_key("1.0", behavior, _small_config())
+        assert base != validate_campaign_key(
+            "1.0", behavior, _small_config(iterations=5))
+        assert base != validate_campaign_key(
+            "1.0", CompilerBehavior(name="demo", version="9",
+                                    broken_reductions=frozenset({"+"})),
+            _small_config())
+        assert base != validate_campaign_key("combinations", behavior,
+                                             _small_config())
+
+    def test_titan_campaign_key_pins_cluster_shape(self):
+        config = HarnessConfig(iterations=1, run_cross=False,
+                               languages=("c",))
+        base = titan_campaign_key(config, nodes=8, degraded=0.25,
+                                  seed=2012, sample=4, recheck=1)
+        assert base != titan_campaign_key(config, nodes=16, degraded=0.25,
+                                          seed=2012, sample=4, recheck=1)
+        assert base != titan_campaign_key(config, nodes=8, degraded=0.25,
+                                          seed=7, sample=4, recheck=1)
+
+    def test_result_roundtrip_preserves_report_bytes(self):
+        suite = openacc10_suite()
+        behavior = CompilerBehavior(name="demo", version="1",
+                                    broken_reductions=frozenset({"+"}))
+        config = _small_config(
+            feature_prefixes=["parallel.if", "loop.reduction"])
+        runner = ValidationRunner(behavior, config)
+        report = runner.run_suite(suite)
+        templates = [r.template for r in report.results]
+        decoded = [
+            decode_result(encode_result(r), t)
+            for r, t in zip(report.results, templates)
+        ]
+        clone = type(report)(compiler_label=report.compiler_label,
+                             config=config, results=decoded)
+        assert render_text(clone) == render_text(report)
+        assert render_csv(clone) == render_csv(report)
+
+    def test_unit_keys_disambiguate_duplicates(self):
+        suite = openacc10_suite()
+        templates = list(suite.select(languages=("c",),
+                                      prefixes=["parallel.if"]))
+        keys = unit_keys(templates + templates)
+        assert len(keys) == len(set(keys))
+
+
+# ---------------------------------------------------------------------------
+# runner: replay means *never re-run*
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerResume:
+    def test_full_journal_replays_without_running(self, tmp_path, monkeypatch):
+        suite = openacc10_suite()
+        behavior = CompilerBehavior()
+        config = _small_config()
+        campaign = validate_campaign_key("1.0", behavior, config)
+        path = str(tmp_path / "j.jsonl")
+
+        journal = JournalWriter.create(path, campaign)
+        first = ValidationRunner(behavior, config).run_suite(
+            suite, journal=journal)
+        journal.close()
+
+        calls = []
+        real = ValidationRunner.run_template
+
+        def counting(self, template):
+            calls.append(template.name)
+            return real(self, template)
+
+        monkeypatch.setattr(ValidationRunner, "run_template", counting)
+        journal = JournalWriter.resume(path, campaign)
+        second = ValidationRunner(behavior, config).run_suite(
+            suite, journal=journal)
+        journal.close()
+        assert calls == []  # every unit replayed, none re-run
+        assert render_text(second) == render_text(first)
+        assert render_csv(second) == render_csv(first)
+
+    def test_partial_journal_runs_only_missing_units(self, tmp_path,
+                                                     monkeypatch):
+        suite = openacc10_suite()
+        behavior = CompilerBehavior()
+        config = _small_config()
+        campaign = validate_campaign_key("1.0", behavior, config)
+        path = str(tmp_path / "j.jsonl")
+
+        journal = JournalWriter.create(path, campaign)
+        baseline = ValidationRunner(behavior, config).run_suite(
+            suite, journal=journal)
+        journal.close()
+        total = len(baseline.results)
+        assert total >= 4
+
+        # rebuild a journal holding only the first half of the units
+        templates = [r.template for r in baseline.results]
+        keys = unit_keys(templates)
+        half = total // 2
+        partial_path = str(tmp_path / "partial.jsonl")
+        partial = JournalWriter.create(partial_path, campaign)
+        for key, result in list(zip(keys, baseline.results))[:half]:
+            partial.append(key, encode_result(result))
+        partial.close()
+
+        calls = []
+        real = ValidationRunner.run_template
+
+        def counting(self, template):
+            calls.append(template.name)
+            return real(self, template)
+
+        monkeypatch.setattr(ValidationRunner, "run_template", counting)
+        journal = JournalWriter.resume(partial_path, campaign)
+        resumed = ValidationRunner(behavior, config).run_suite(
+            suite, journal=journal)
+        journal.close()
+        assert len(calls) == total - half  # exactly the missing units ran
+        assert render_text(resumed) == render_text(baseline)
+        # and the journal is now complete: a further resume runs nothing
+        assert len(read_journal(partial_path).records) == total
+
+    def test_drain_keeps_journal_consistent(self, tmp_path):
+        """A drain request mid-campaign stops dispatch after the unit in
+        flight; everything journaled so far replays on resume."""
+        suite = openacc10_suite()
+        behavior = CompilerBehavior()
+        config = _small_config()
+        campaign = validate_campaign_key("1.0", behavior, config)
+        path = str(tmp_path / "j.jsonl")
+
+        journal = JournalWriter.create(path, campaign)
+        real_append = journal.append
+
+        def draining_append(unit, payload):
+            real_append(unit, payload)
+            if len(journal.records) >= 2:
+                request_drain()
+
+        journal.append = draining_append
+        from repro.harness import CampaignInterrupted
+
+        with pytest.raises(CampaignInterrupted):
+            ValidationRunner(behavior, config).run_suite(
+                suite, journal=journal)
+        journal.close()
+        reset_drain()
+
+        loaded = read_journal(path)
+        assert len(loaded.records) == 2
+        assert loaded.torn_bytes == 0  # a drain is a *clean* stop
+
+        journal = JournalWriter.resume(path, campaign)
+        resumed = ValidationRunner(behavior, config).run_suite(
+            suite, journal=journal)
+        journal.close()
+        fresh = ValidationRunner(behavior, config).run_suite(suite)
+        assert render_text(resumed) == render_text(fresh)
+
+
+# ---------------------------------------------------------------------------
+# CLI: crash + resume under every policy, inspect, mismatch
+# ---------------------------------------------------------------------------
+
+
+def _validate_args(tmp_path, policy="serial", **extra):
+    args = ["validate", "--features", "parallel.if", "update",
+            "--language", "c", "--iterations", "2",
+            "--policy", policy]
+    if policy != "serial":
+        args += ["--workers", "2"]
+    for flag, value in extra.items():
+        args += [f"--{flag.replace('_', '-')}", str(value)]
+    return args
+
+
+class TestCliResume:
+    @pytest.mark.parametrize("policy", ["serial", "thread", "process"])
+    def test_torn_write_crash_then_resume_byte_identical(
+            self, tmp_path, policy, capsys):
+        reference = str(tmp_path / "reference.txt")
+        assert main(_validate_args(tmp_path, policy,
+                                   output=reference)) == 0
+
+        journal = str(tmp_path / "j.jsonl")
+        crashed = str(tmp_path / "crashed.txt")
+        code = main(_validate_args(
+            tmp_path, policy, output=crashed, journal=journal,
+            inject_faults="journal=1.0,seed=11"))
+        assert code == 3  # interrupted but resumable
+        assert "resume with" in capsys.readouterr().err
+        assert not os.path.exists(crashed)  # no half-written report
+
+        resumed = str(tmp_path / "resumed.txt")
+        code = main(_validate_args(
+            tmp_path, policy, output=resumed, resume=journal,
+            inject_faults="journal=1.0,seed=11"))
+        assert code == 0
+        with open(reference) as a, open(resumed) as b:
+            assert a.read() == b.read()
+
+    def test_resume_may_switch_policy(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        serial_out = str(tmp_path / "serial.txt")
+        assert main(_validate_args(tmp_path, "serial", output=serial_out,
+                                   journal=journal)) == 0
+        process_out = str(tmp_path / "process.txt")
+        assert main(_validate_args(tmp_path, "process", output=process_out,
+                                   resume=journal)) == 0
+        with open(serial_out) as a, open(process_out) as b:
+            assert a.read() == b.read()
+
+    def test_mismatched_resume_exits_nonzero(self, tmp_path, capsys):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(_validate_args(tmp_path, journal=journal)) == 0
+        capsys.readouterr()
+        args = ["validate", "--features", "data", "--language", "c",
+                "--iterations", "2", "--resume", journal]
+        assert main(args) == 1
+        err = capsys.readouterr().err
+        assert "different campaign" in err
+
+    def test_corrupt_resume_exits_nonzero(self, tmp_path, capsys):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(_validate_args(tmp_path, journal=journal)) == 0
+        with open(journal, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        lines[1] = b'{"tampered": true}\n'
+        with open(journal, "wb") as handle:
+            handle.writelines(lines)
+        capsys.readouterr()
+        assert main(_validate_args(tmp_path, resume=journal)) == 1
+        assert "journal error" in capsys.readouterr().err
+
+    def test_journal_and_resume_are_mutually_exclusive(self, tmp_path,
+                                                       capsys):
+        with pytest.raises(SystemExit):
+            main(_validate_args(tmp_path, journal="a.jsonl",
+                                resume="b.jsonl"))
+
+    def test_journal_inspect(self, tmp_path, capsys):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(_validate_args(tmp_path, journal=journal)) == 0
+        capsys.readouterr()
+        assert main(["journal", "inspect", journal, "--units"]) == 0
+        out = capsys.readouterr().out
+        assert JOURNAL_FORMAT in out
+        assert "validate" in out
+        assert "clean shutdown" in out
+        assert "parallel.if:c" in out
+
+    def test_journal_inspect_rejects_garbage(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not a journal\n")
+        assert main(["journal", "inspect", str(path)]) == 1
+        assert "journal error" in capsys.readouterr().err
+
+    def test_titan_crash_then_resume_byte_identical(self, tmp_path, capsys):
+        base_args = ["titan", "--nodes", "6", "--sample", "3"]
+        assert main(base_args) == 0
+        reference = capsys.readouterr().out
+
+        journal = str(tmp_path / "tj.jsonl")
+        code = main(base_args + ["--journal", journal,
+                                 "--inject-faults", "journal=1.0,seed=5"])
+        assert code == 3
+        capsys.readouterr()
+        code = main(base_args + ["--resume", journal,
+                                 "--inject-faults", "journal=1.0,seed=5"])
+        assert code == 0
+        assert capsys.readouterr().out == reference
+
+
+# ---------------------------------------------------------------------------
+# the real thing: SIGKILL mid-campaign, resume, byte-identical report
+# ---------------------------------------------------------------------------
+
+
+class TestSigkillResume:
+    def test_sigkill_then_resume_byte_identical(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), os.pardir, "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        journal = str(tmp_path / "j.jsonl")
+        reference = str(tmp_path / "reference.txt")
+        resumed = str(tmp_path / "resumed.txt")
+        base = [sys.executable, "-m", "repro", "validate",
+                "--iterations", "3", "--language", "c"]
+
+        assert subprocess.run(
+            base + ["--output", reference], env=env,
+            stdout=subprocess.DEVNULL).returncode == 0
+
+        victim = subprocess.Popen(
+            base + ["--journal", journal, "--output",
+                    str(tmp_path / "never.txt")],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            # wait until some units are durably journaled, then SIGKILL
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                try:
+                    if len(read_journal(journal).records) >= 3:
+                        break
+                except (OSError, JournalCorruptError):
+                    pass
+                time.sleep(0.02)
+            else:
+                pytest.fail("campaign never journaled 3 units")
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+        assert victim.returncode == -signal.SIGKILL
+
+        loaded = read_journal(journal)  # tolerates whatever the kill left
+        already = len(loaded.records)
+        assert already >= 3
+
+        proc = subprocess.run(
+            base + ["--resume", journal, "--output", resumed], env=env,
+            stdout=subprocess.DEVNULL)
+        assert proc.returncode == 0
+        with open(reference) as a, open(resumed) as b:
+            assert a.read() == b.read()
+        healed = read_journal(journal)
+        assert healed.resumes == 1
+        assert healed.torn_bytes == 0
+        assert len(healed.records) >= already  # nothing was thrown away

@@ -205,6 +205,61 @@ class TestSink:
             parse_trace('{"type": "mystery"}\n')
 
 
+class TestTornTraces:
+    """A SIGKILLed run leaves a trace with a truncated last line; the
+    tolerant reader must count and skip the damage, not crash."""
+
+    def _trace_text(self) -> str:
+        tracer = Tracer()
+        with tracer.span("run", key="r"):
+            with tracer.span("template", key="t:c"):
+                pass
+        tracer.event("done", ok=True)
+        tracer.metrics.counter("templates.run").inc()
+        return trace_to_jsonl(tracer, meta={"command": "validate"})
+
+    def test_tolerant_parse_counts_torn_tail(self):
+        text = self._trace_text()
+        torn = text[:-25]  # cut mid-way through the last record
+        trace = parse_trace(torn, strict=False)
+        assert trace.malformed == 1
+        assert len(trace.spans) == 2  # intact records all survive
+        with pytest.raises(ValueError):
+            parse_trace(torn)  # strict mode still refuses
+
+    def test_tolerant_parse_skips_mid_file_garbage(self):
+        lines = self._trace_text().splitlines()
+        lines.insert(2, "garbage not json")
+        lines.insert(3, '{"type": "mystery"}')
+        trace = parse_trace("\n".join(lines) + "\n", strict=False)
+        assert trace.malformed == 2
+        assert len(trace.spans) == 2
+
+    def test_tolerant_parse_still_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="unsupported format"):
+            parse_trace('{"type": "meta", "format": "other/v9"}\n',
+                        strict=False)
+
+    def test_cli_summarize_warns_on_torn_trace(self, tmp_path, capsys):
+        torn = self._trace_text()[:-25]
+        path = tmp_path / "torn.jsonl"
+        path.write_text(torn)
+        assert main(["trace", "summarize", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 malformed trace line" in captured.err
+        assert "trace summary" in captured.out
+
+    def test_cli_html_renders_torn_trace(self, tmp_path, capsys):
+        torn = self._trace_text()[:-25]
+        path = tmp_path / "torn.jsonl"
+        path.write_text(torn)
+        out = tmp_path / "torn.html"
+        assert main(["trace", "html", str(path),
+                     "--output", str(out)]) == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+        assert "skipped 1 malformed trace line" in capsys.readouterr().err
+
+
 # ---------------------------------------------------------------------------
 # traced suite runs: determinism, worker marshalling, reconciliation
 # ---------------------------------------------------------------------------
@@ -364,6 +419,24 @@ class TestHtmlEscaping:
         assert "&amp;feature" in page
         assert "&lt;b&gt;detail&lt;/b&gt;" in page
         assert "evil &lt;vendor&gt; &amp; co" in page
+
+    def test_render_html_escapes_language_field(self):
+        """Regression: ``r.language`` was interpolated raw — a template
+        with a poisoned language broke out of its table cell."""
+        template = _TestTemplate(name="evil", feature="parallel.if",
+                                 language="<script>alert('l')</script>",
+                                 code="")
+        functional = PhaseResult(
+            mode="functional", source="int main(){}",
+            iterations=[IterationOutcome(ok=True)],
+        )
+        report = SuiteRunReport(
+            compiler_label="demo", config=HarnessConfig(iterations=1),
+            results=[_TestResult(template=template, functional=functional)],
+        )
+        page = render_html(report)
+        assert "<script" not in page
+        assert "&lt;script&gt;alert(&#x27;l&#x27;)&lt;/script&gt;" in page
 
     def test_dashboard_escapes_keys_events_metrics_and_meta(self):
         tracer = Tracer()

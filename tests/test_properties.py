@@ -201,3 +201,65 @@ def test_rng_isolated_between_runs(seeds):
     src = "int main(){ return rand() % 97; }"
     program = CC.compile(src, "c")
     assert program.run(rng_seed=seeds).value == program.run(rng_seed=seeds).value
+
+
+# ---------------------------------------------------------------------------
+# the certainty statistic (harness/stats.py, paper Section III)
+# ---------------------------------------------------------------------------
+
+from repro.harness.stats import (  # noqa: E402
+    accidental_pass_probability,
+    certainty,
+    cross_fail_probability,
+)
+
+
+@settings(**_SETTINGS)
+@given(m=st.integers(1, 10_000))
+def test_certainty_boundaries(m):
+    """pc(0, M) == 0 (no failed crosses — nothing validated) and
+    pc(M, M) == 1 (every cross failed — full confidence), exactly."""
+    assert certainty(0, m) == 0.0
+    assert certainty(m, m) == 1.0
+
+
+@settings(**_SETTINGS)
+@given(data=st.data(), m=st.integers(2, 2_000))
+def test_certainty_monotone_in_nf(data, m):
+    """More failed crosses can only raise (never lower) the certainty."""
+    nf = data.draw(st.integers(0, m - 1))
+    assert certainty(nf, m) <= certainty(nf + 1, m)
+
+
+@settings(**_SETTINGS)
+@given(data=st.data(), m=st.integers(1, 10**6))
+def test_certainty_stays_finite_and_bounded(data, m):
+    """No overflow/NaN at large M: every statistic stays in [0, 1] and
+    pa + pc reconstructs to 1 within float addition."""
+    import math
+
+    nf = data.draw(st.integers(0, m))
+    p = cross_fail_probability(nf, m)
+    pa = accidental_pass_probability(nf, m)
+    pc = certainty(nf, m)
+    for value in (p, pa, pc):
+        assert math.isfinite(value)
+        assert 0.0 <= value <= 1.0
+    assert pa + pc == pytest.approx(1.0)
+
+
+@settings(**_SETTINGS)
+@given(data=st.data(), m=st.integers(1, 5_000))
+def test_certainty_matches_closed_form(data, m):
+    """pc = 1 - (1 - nf/M)^M, straight from the paper's formula."""
+    nf = data.draw(st.integers(0, m))
+    assert certainty(nf, m) == pytest.approx(1.0 - (1.0 - nf / m) ** m)
+
+
+def test_stats_reject_invalid_counts():
+    with pytest.raises(ValueError):
+        cross_fail_probability(1, 0)
+    with pytest.raises(ValueError):
+        cross_fail_probability(-1, 10)
+    with pytest.raises(ValueError):
+        cross_fail_probability(11, 10)
