@@ -198,6 +198,7 @@ def _config(args) -> HarnessConfig:
         retries=args.retries,
         template_timeout_s=args.timeout_s,
         fault_plan=args.inject_faults,
+        lint=getattr(args, "lint", False),
     )
 
 
@@ -235,6 +236,50 @@ def cmd_generate(args) -> int:
         print(f"// --- cross test: {template.name} ---")
         print(generate_cross(template).source)
     return 0
+
+
+_LINT_SUITES = ("1.0", "2.0", "combinations")
+
+
+def cmd_lint(args) -> int:
+    from repro.staticcheck import (
+        lint_suite,
+        merge_reports,
+        render_lint_json,
+        render_lint_text,
+    )
+    from repro.suite import combination_suite, openacc20_suite
+
+    factories = {
+        "1.0": openacc10_suite,
+        "2.0": openacc20_suite,
+        "combinations": combination_suite,
+    }
+    names = list(_LINT_SUITES) if args.all else [args.suite]
+    reports = []
+    for name in names:
+        suite = factories[name]()
+        templates = None
+        if args.feature or args.language:
+            templates = [
+                t for t in suite
+                if (not args.feature or t.feature == args.feature)
+                and (not args.language or t.language == args.language)
+            ]
+        reports.append(lint_suite(suite, templates))
+    merged = merge_reports(reports)
+    if merged.checked == 0:
+        print("lint selection matched no templates", file=sys.stderr)
+        return 1
+    rendered = (render_lint_json(merged) if args.format == "json"
+                else render_lint_text(merged))
+    if args.output:
+        atomic_write_text(args.output, rendered)
+        print(f"wrote {args.output} ({merged.checked} templates, "
+              f"{merged.error_count} errors)")
+    else:
+        print(rendered, end="")
+    return 2 if merged.error_count else 0
 
 
 def cmd_validate(args) -> int:
@@ -480,6 +525,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", default="both",
                    choices=["functional", "cross", "both"])
 
+    p = sub.add_parser("lint", help="static-check the test corpus "
+                                    "(exit 2 on error diagnostics)")
+    p.add_argument("--suite", default="1.0", choices=list(_LINT_SUITES),
+                   help="corpus to lint (default: the 1.0 suite)")
+    p.add_argument("--all", action="store_true",
+                   help="lint every shipped suite")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--feature", help="restrict to one dotted feature id")
+    p.add_argument("--language", choices=["c", "fortran"],
+                   help="restrict to one language")
+    p.add_argument("--output", help="write the report to this path "
+                                    "(atomic) instead of stdout")
+
     p = sub.add_parser("validate", help="run the suite against an implementation")
     p.add_argument("--suite", default="1.0", choices=["1.0", "combinations"],
                    help="base 1.0 corpus or the feature-combination suite")
@@ -504,6 +562,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "to --output as FILE.metrics.txt/.csv, else printed")
     p.add_argument("--no-compile-cache", action="store_true",
                    help="disable compile memoisation")
+    p.add_argument("--lint", action="store_true",
+                   help="static-check each template before compiling; "
+                        "templates with error diagnostics are marked "
+                        "STATIC_ERROR (a corpus defect) and never run")
     p.add_argument("--retries", type=_nonnegative_int, default=0, metavar="R",
                    help="re-run a work unit up to R times after a harness "
                         "fault before marking it HARNESS_ERROR")
@@ -607,6 +669,7 @@ _COMMANDS = {
     "list-features": cmd_list_features,
     "list-vendors": cmd_list_vendors,
     "generate": cmd_generate,
+    "lint": cmd_lint,
     "validate": cmd_validate,
     "sweep": cmd_sweep,
     "compare": cmd_compare,

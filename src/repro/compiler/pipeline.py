@@ -36,42 +36,15 @@ from repro.ir.astnodes import (
 from repro.spec.versions import ACC_10, ACC_20
 
 # ---------------------------------------------------------------------------
-# clause allowance table (OpenACC 1.0 sections 2.x; 2.0 additions marked)
+# clause allowance table — owned by the static checker so the simulated
+# compilers and `repro lint` can never disagree about legality
 # ---------------------------------------------------------------------------
 
-_DATA = {
-    "copy", "copyin", "copyout", "create", "present",
-    "present_or_copy", "present_or_copyin", "present_or_copyout",
-    "present_or_create", "deviceptr",
-}
-_LOOP = {"collapse", "gang", "worker", "vector", "seq", "independent",
-         "private", "reduction"}
-
-ALLOWED_CLAUSES: Dict[str, Set[str]] = {
-    "parallel": _DATA | {"if", "async", "num_gangs", "num_workers",
-                         "vector_length", "reduction", "private",
-                         "firstprivate"},
-    "kernels": _DATA | {"if", "async"},
-    "data": _DATA | {"if"},
-    "host_data": {"use_device"},
-    "loop": set(_LOOP),
-    "parallel loop": set(),  # filled below
-    "kernels loop": set(),
-    "cache": {"cache"},
-    "declare": _DATA | {"device_resident"},
-    "update": {"host", "device", "if", "async"},
-    "wait": {"wait"},
-    "enter data": {"if", "async", "wait", "copyin", "create",
-                   "present_or_copyin", "present_or_create"},
-    "exit data": {"if", "async", "wait", "copyout", "delete"},
-    "routine": {"gang", "worker", "vector", "seq"},
-}
-ALLOWED_CLAUSES["parallel loop"] = ALLOWED_CLAUSES["parallel"] | _LOOP
-ALLOWED_CLAUSES["kernels loop"] = ALLOWED_CLAUSES["kernels"] | _LOOP
-
-#: directives / clauses introduced by OpenACC 2.0 (Section V-C)
-_V20_DIRECTIVES = {"enter data", "exit data", "routine"}
-_V20_CLAUSES = {"default", "auto", "delete"}
+from repro.staticcheck.legality import (  # noqa: E402
+    ALLOWED_CLAUSES,
+    V20_CLAUSES as _V20_CLAUSES,
+    V20_DIRECTIVES as _V20_DIRECTIVES,
+)
 
 _PARALLELISM_SIZE_CLAUSES = ("num_gangs", "num_workers", "vector_length")
 

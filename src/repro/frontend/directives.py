@@ -34,6 +34,14 @@ REF_CLAUSES = {
 #: bare clauses with no argument
 BARE_CLAUSES = {"seq", "independent", "auto"}
 
+#: scalar-argument clauses that may appear at most once per directive;
+#: `num_gangs(2) num_gangs(4)` is ambiguous, not additive.  `wait` is
+#: deliberately absent: multiple wait arguments name multiple queues.
+UNIQUE_CLAUSES = {
+    "if", "async", "num_gangs", "num_workers", "vector_length",
+    "collapse", "default",
+}
+
 #: multi-word directive kinds, longest match first
 _MULTIWORD = [
     ("parallel", "loop"),
@@ -86,7 +94,14 @@ class DirectiveParser:
         while not ts.at_end():
             if ts.match_op(","):
                 continue
-            directive.clauses.append(self._parse_clause(ts))
+            clause = self._parse_clause(ts)
+            if clause.name in UNIQUE_CLAUSES and directive.has_clause(clause.name):
+                raise ParseError(
+                    f"duplicate clause {clause.name!r} on directive "
+                    f"{kind!r}: a single-valued clause may appear only once",
+                    clause.loc,
+                )
+            directive.clauses.append(clause)
         return directive
 
     # -- pieces ---------------------------------------------------------------

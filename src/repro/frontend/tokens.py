@@ -42,6 +42,30 @@ class Token:
         return f"Token({self.kind.value}, {self.text!r})"
 
 
+def rebase_tokens(
+    tokens: Sequence[Token], base: SourceLocation, column: int = 1
+) -> List[Token]:
+    """Re-anchor sub-lexed tokens at their position in the original file.
+
+    Directive payloads are lexed standalone (starting at 1:1); diagnostics
+    and parse errors must point at the real source line.  ``column`` is the
+    absolute column the payload starts at in the original line; tokens past
+    the first sub-line (glued continuations) keep only the line rebase.
+    """
+    out: List[Token] = []
+    for tok in tokens:
+        if tok.loc.line == 1:
+            loc = SourceLocation(
+                base.filename, base.line, column + tok.loc.column - 1
+            )
+        else:
+            loc = SourceLocation(
+                base.filename, base.line + tok.loc.line - 1, tok.loc.column
+            )
+        out.append(Token(tok.kind, tok.text, loc, value=tok.value))
+    return out
+
+
 class TokenStream:
     """Cursor over a token list with the usual LL(k) helpers."""
 

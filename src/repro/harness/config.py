@@ -61,6 +61,10 @@ class HarnessConfig:
     #: deterministic fault-injection plan (see repro.faults); None = no
     #: faults
     fault_plan: Optional[FaultPlan] = None
+    #: opt-in static pre-compile gate: run repro.staticcheck over each
+    #: template first, and mark units with error diagnostics STATIC_ERROR
+    #: (a corpus defect) instead of compiling/running them
+    lint: bool = False
 
     def __post_init__(self) -> None:
         if self.iterations < 1:

@@ -474,7 +474,11 @@ def build_metrics(
         busy = metrics.worker_busy_s.setdefault(worker, 0.0)
         metrics.worker_busy_s[worker] = busy + result.elapsed_s
         for phase in (result.functional, result.cross):
-            if phase is None or phase.harness_error is not None:
+            if (
+                phase is None
+                or phase.harness_error is not None
+                or phase.static_error is not None
+            ):
                 # the unit never reached the compiler: charging a cache
                 # miss or phase timings would skew the real counters
                 continue

@@ -50,6 +50,10 @@ class FailureKind(Enum):
     #: the harness (not the implementation under test) failed on this unit
     #: and exhausted its retry budget — infrastructure, not a compiler bug
     HARNESS_ERROR = "harness_error"
+    #: the *template* failed static checking (``HarnessConfig.lint``): the
+    #: test itself is ill-formed, so no compile/run verdict was produced —
+    #: a corpus defect, never charged to the implementation under test
+    STATIC_ERROR = "static_error"
 
 
 class EmptySelectionError(ValueError):
@@ -98,6 +102,9 @@ class PhaseResult:
     #: set when the harness itself failed on this unit (retries exhausted);
     #: never the implementation's fault — see FailureKind.HARNESS_ERROR
     harness_error: Optional[str] = None
+    #: set when the lint gate rejected the template before compilation; the
+    #: summary of the static diagnostics — see FailureKind.STATIC_ERROR
+    static_error: Optional[str] = None
     #: instrumentation (feeds engine.RunMetrics; never rendered in reports,
     #: so serial and parallel reports stay byte-identical)
     compile_s: float = 0.0
@@ -106,7 +113,11 @@ class PhaseResult:
 
     @property
     def incorrect_runs(self) -> int:
-        if self.compile_error is not None or self.harness_error is not None:
+        if (
+            self.compile_error is not None
+            or self.harness_error is not None
+            or self.static_error is not None
+        ):
             return len(self.iterations) or 1
         return sum(1 for it in self.iterations if not it.ok)
 
@@ -115,10 +126,13 @@ class PhaseResult:
         return (
             self.compile_error is None
             and self.harness_error is None
+            and self.static_error is None
             and all(it.ok for it in self.iterations)
         )
 
     def dominant_failure(self) -> Optional[FailureKind]:
+        if self.static_error is not None:
+            return FailureKind.STATIC_ERROR
         if self.harness_error is not None:
             return FailureKind.HARNESS_ERROR
         if self.compile_error is not None:
@@ -129,6 +143,8 @@ class PhaseResult:
         return None
 
     def failure_detail(self) -> str:
+        if self.static_error is not None:
+            return self.static_error
         if self.harness_error is not None:
             return self.harness_error
         if self.compile_error is not None:
@@ -271,8 +287,12 @@ class ValidationRunner:
         timeout = self.config.template_timeout_s
         deadline = time.monotonic() + timeout if timeout is not None else None
         with tracer.span("template", key=tkey) as span:
-            functional = self._run_phase(template, "functional", tkey,
-                                         deadline=deadline)
+            functional = None
+            if self.config.lint:
+                functional = self._lint_gate(template, tkey)
+            if functional is None:
+                functional = self._run_phase(template, "functional", tkey,
+                                             deadline=deadline)
             cross: Optional[PhaseResult] = None
             if (
                 self.config.run_cross
@@ -399,6 +419,42 @@ class ValidationRunner:
         return report
 
     # -------------------------------------------------------------- internals
+
+    def _lint_gate(self, template: TestTemplate,
+                   tkey: str) -> Optional[PhaseResult]:
+        """Static pre-compile gate (``HarnessConfig.lint``).
+
+        Returns a STATIC_ERROR phase when the template fails static
+        checking — the unit is charged to the *corpus*, never to the
+        implementation under test — or None when it is clean and the normal
+        functional phase should run.  Diagnostics are deterministically
+        ordered, so reports stay byte-identical across execution policies.
+        """
+        from repro.staticcheck import errors_only, lint_template, summarize
+
+        tracer = self.tracer
+        with tracer.span("lint", key=tkey) as span:
+            diags = errors_only(lint_template(template))
+            if tracer.enabled:
+                span.set(diagnostics=len(diags))
+                tracer.metrics.counter("lint.checked").inc()
+                for d in diags:
+                    tracer.metrics.counter(f"lint.diagnostic.{d.code}").inc()
+        if not diags:
+            return None
+        if tracer.enabled:
+            tracer.event(
+                "lint.failed", template=tkey,
+                codes=sorted({d.code for d in diags}),
+            )
+        try:
+            source = generate_functional(template).source
+        except Exception:  # the template may not even generate
+            source = ""
+        return PhaseResult(
+            mode="functional", source=source,
+            static_error=summarize(diags),
+        )
 
     def _run_phase(self, template: TestTemplate, mode: str,
                    tkey: Optional[str] = None,

@@ -150,6 +150,7 @@ def _encode_phase(phase: PhaseResult) -> dict:
         "source": phase.source,
         "compile_error": phase.compile_error,
         "harness_error": phase.harness_error,
+        "static_error": phase.static_error,
         "compile_s": phase.compile_s,
         "run_s": phase.run_s,
         "cache_hit": phase.cache_hit,
@@ -163,6 +164,7 @@ def _decode_phase(data: dict) -> PhaseResult:
         source=data.get("source", ""),
         compile_error=data.get("compile_error"),
         harness_error=data.get("harness_error"),
+        static_error=data.get("static_error"),
         compile_s=float(data.get("compile_s", 0.0)),
         run_s=float(data.get("run_s", 0.0)),
         cache_hit=bool(data.get("cache_hit", False)),

@@ -112,8 +112,14 @@ def tokenize(source: str, filename: str = "<c>") -> List[Token]:
             i = end
             m = re.match(r"\s*#\s*pragma\s+acc\b(.*)", full, re.DOTALL)
             if m:
+                payload = m.group(1)
+                # absolute column of the directive payload, so the sub-lexed
+                # tokens can be rebased onto real source positions
+                pad = len(payload) - len(payload.lstrip())
+                payload_col = start_loc.column + m.start(1) + pad
                 tokens.append(
-                    Token(TokenKind.PRAGMA, m.group(1).strip(), start_loc)
+                    Token(TokenKind.PRAGMA, payload.strip(), start_loc,
+                          value=payload_col)
                 )
             # any other preprocessor directive is ignored
             continue

@@ -15,7 +15,7 @@ from typing import List, Optional
 
 from repro.frontend.directives import DirectiveParser
 from repro.frontend.errors import ParseError
-from repro.frontend.tokens import Token, TokenKind, TokenStream
+from repro.frontend.tokens import Token, TokenKind, TokenStream, rebase_tokens
 from repro.ir.acc import Directive
 from repro.ir.astnodes import (
     AccConstruct,
@@ -253,7 +253,8 @@ class CParser:
 
     def _parse_directive_token(self, tok: Token) -> Directive:
         sub_tokens = tokenize(tok.text, tok.loc.filename)
-        ts = TokenStream(sub_tokens)
+        column = tok.value if isinstance(tok.value, int) else 1
+        ts = TokenStream(rebase_tokens(sub_tokens, tok.loc, column))
         return self._directive_parser.parse(ts, source=f"#pragma acc {tok.text}")
 
     def _parse_if(self) -> If:

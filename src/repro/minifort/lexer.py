@@ -97,7 +97,11 @@ def tokenize(source: str, filename: str = "<fortran>") -> List[Token]:
         # OpenACC sentinel (must be checked before general comment)
         m = re.match(r"!\$acc\b(.*)", stripped, re.IGNORECASE)
         if m:
-            text = m.group(1).strip()
+            payload = m.group(1)
+            pad = len(payload) - len(payload.lstrip())
+            # absolute column of the directive payload for token rebasing
+            payload_col = lead + 1 + m.start(1) + pad
+            text = payload.strip()
             # directive continuation: trailing '&', next lines start !$acc
             while text.endswith("&") and lineno < n_lines:
                 nxt = lines[lineno].lstrip()
@@ -109,7 +113,8 @@ def tokenize(source: str, filename: str = "<fortran>") -> List[Token]:
             if text.lower().startswith("end"):
                 # `!$acc end parallel` -> PRAGMA token with 'end ...' payload
                 pass
-            tokens.append(Token(TokenKind.PRAGMA, text, loc(lead + 1)))
+            tokens.append(Token(TokenKind.PRAGMA, text, loc(lead + 1),
+                                value=payload_col))
             tokens.append(Token(TokenKind.NEWLINE, "\n", loc(len(line) + 1)))
             continue
 

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.frontend.directives import DirectiveParser
 from repro.frontend.errors import ParseError
-from repro.frontend.tokens import Token, TokenKind, TokenStream
+from repro.frontend.tokens import Token, TokenKind, TokenStream, rebase_tokens
 from repro.ir.acc import Directive
 from repro.ir.astnodes import (
     AccConstruct,
@@ -606,7 +606,8 @@ class FortranParser:
             for t in tokenize(tok.text, tok.loc.filename)
             if t.kind is not TokenKind.NEWLINE
         ]
-        ts = TokenStream(sub_tokens)
+        column = tok.value if isinstance(tok.value, int) else 1
+        ts = TokenStream(rebase_tokens(sub_tokens, tok.loc, column))
         return self._directive_parser.parse(ts, source=f"!$acc {tok.text}")
 
     # ------------------------------------------------------------ expressions

@@ -1,0 +1,78 @@
+"""Static analysis over the testsuite IR: semantic checking + corpus lint.
+
+Three passes, one diagnostic vocabulary (see DESIGN.md "Static checking"):
+
+* :mod:`repro.staticcheck.legality` — the OpenACC 1.0 clause x directive
+  legality matrix, duplicate/conflict rules, and region-scoping checks
+  (``ACC1xx``);
+* :mod:`repro.staticcheck.dependence` — conservative loop-carried
+  dependence and shared-scalar race detection (``ACC2xx``);
+* :mod:`repro.staticcheck.corpus` — template-level corpus lint: parse
+  cleanliness, functional/cross pair coherence (``ACC3xx``).
+
+Entry points: :func:`lint_source` / :func:`lint_template` for one unit,
+:func:`lint_suite` for a registry (what ``repro lint`` and the CI gate
+run).
+"""
+
+from repro.staticcheck.corpus import (
+    CorpusLintReport,
+    TemplateLint,
+    lint_program,
+    lint_source,
+    lint_suite,
+    lint_template,
+    merge_reports,
+    render_lint_json,
+    render_lint_text,
+)
+from repro.staticcheck.dependence import check_program_dependence
+from repro.staticcheck.diagnostics import (
+    CODE_CATALOG,
+    Diagnostic,
+    Severity,
+    errors_only,
+    sort_diagnostics,
+    summarize,
+)
+from repro.staticcheck.legality import (
+    ALLOWED_CLAUSES,
+    LEGAL_CLAUSES_10,
+    SINGLE_VALUED_CLAUSES,
+    V20_CLAUSES,
+    V20_DIRECTIVES,
+    check_directive,
+    check_program_legality,
+    legal_clauses,
+)
+from repro.staticcheck.regions import Region, build_region_tree, walk_regions
+
+__all__ = [
+    "CODE_CATALOG",
+    "Diagnostic",
+    "Severity",
+    "errors_only",
+    "sort_diagnostics",
+    "summarize",
+    "ALLOWED_CLAUSES",
+    "LEGAL_CLAUSES_10",
+    "SINGLE_VALUED_CLAUSES",
+    "V20_CLAUSES",
+    "V20_DIRECTIVES",
+    "check_directive",
+    "check_program_legality",
+    "legal_clauses",
+    "check_program_dependence",
+    "Region",
+    "build_region_tree",
+    "walk_regions",
+    "CorpusLintReport",
+    "TemplateLint",
+    "lint_program",
+    "lint_source",
+    "lint_suite",
+    "lint_template",
+    "merge_reports",
+    "render_lint_json",
+    "render_lint_text",
+]

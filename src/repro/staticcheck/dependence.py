@@ -1,0 +1,264 @@
+"""Pass 2: conservative loop-carried-dependence and race analysis.
+
+The paper's cross methodology only works if the *functional* variants are
+actually race-free parallel programs: an ``independent`` asserted on a loop
+with a carried dependence, or an unsynchronised accumulation, would make
+pass rates depend on scheduling luck rather than implementation
+correctness.  This pass flags the detectable cases, conservatively — it
+only reports when the evidence is syntactically unambiguous:
+
+* ``ACC201`` — ``independent`` on a loop where some array is written at
+  ``i + c1`` and read (or written) at ``i + c2`` with ``c1 != c2``: a
+  definite loop-carried dependence contradicting the assertion;
+* ``ACC202`` — a ``s = s <op> ...`` accumulation into a shared scalar in a
+  work-shared loop without a matching ``reduction`` clause;
+* ``ACC203`` — any other write to a shared scalar in a work-shared loop
+  (a data race: the final value depends on iteration interleaving).
+
+"Work-shared" means the loop directive explicitly maps or asserts
+parallelism (``gang``/``worker``/``vector``/``independent``) and does not
+say ``seq``; loops the implementation is merely *allowed* to parallelise
+(bare ``loop`` inside ``kernels``) are not flagged.  A scalar is "shared"
+unless it is privatised by a ``private``/``firstprivate``/``reduction``
+clause on the loop or an enclosing construct, declared inside the region,
+or is the control variable of an enclosing loop (predetermined private).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.ir.acc import Directive
+from repro.ir.astnodes import (
+    AccConstruct,
+    AccLoop,
+    Assign,
+    Binary,
+    DeclStmt,
+    Expr,
+    For,
+    Ident,
+    Index,
+    IntLit,
+    Node,
+    Program,
+    walk,
+)
+from repro.staticcheck.diagnostics import Diagnostic, sort_diagnostics
+from repro.staticcheck.regions import Region, walk_regions
+
+#: clauses that make a loop directive work-shared when present
+_WORKSHARE_CLAUSES = ("gang", "worker", "vector", "independent")
+
+
+def is_workshared(d: Directive) -> bool:
+    """The directive explicitly maps or asserts parallelism."""
+    if d.has_clause("seq"):
+        return False
+    return any(d.has_clause(name) for name in _WORKSHARE_CLAUSES)
+
+
+def check_program_dependence(program: Program) -> List[Diagnostic]:
+    """The full dependence pass over every work-shared loop."""
+    diags: List[Diagnostic] = []
+    for region in walk_regions(program):
+        node = region.node
+        if not isinstance(node, AccLoop):
+            continue
+        if not is_workshared(node.directive):
+            continue
+        diags.extend(_check_loop(region, node))
+    return sort_diagnostics(diags)
+
+
+# ---------------------------------------------------------------------------
+# per-loop analysis
+# ---------------------------------------------------------------------------
+
+
+def _check_loop(region: Region, node: AccLoop) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    loop = node.loop
+    private = _privatised_vars(region)
+    local = _declared_inside(loop.body)
+    reduction_vars = {
+        var
+        for c in node.directive.clauses_named("reduction")
+        for var in c.var_names
+    }
+    control_vars = _control_vars(region, loop)
+
+    if node.directive.has_clause("independent"):
+        dep = _carried_array_dependence(loop)
+        if dep is not None:
+            array, w_off, r_off, loc = dep
+            diags.append(Diagnostic(
+                "ACC201",
+                f"'independent' asserted but '{array}' is written at "
+                f"{_offset_str(loop.var, w_off)} and referenced at "
+                f"{_offset_str(loop.var, r_off)}: a loop-carried dependence",
+                loc=loc,
+                hint="drop the independent clause or restructure the loop",
+            ))
+
+    shared_ok = private | local | reduction_vars | control_vars
+    writes: Dict[str, List[Assign]] = {}
+    for stmt in _own_statements(loop.body):
+        if (
+            isinstance(stmt, Assign)
+            and isinstance(stmt.target, Ident)
+            and stmt.target.name not in shared_ok
+        ):
+            writes.setdefault(stmt.target.name, []).append(stmt)
+    # one diagnostic per scalar, anchored at its first write in source
+    # order; an accumulation anywhere makes the scalar a missed reduction
+    for name, stmts in writes.items():
+        stmts.sort(key=lambda s: (s.loc.line, s.loc.column))
+        if any(_is_accumulation(s, name) for s in stmts):
+            diags.append(Diagnostic(
+                "ACC202",
+                f"accumulation into shared scalar '{name}' without a "
+                "reduction clause",
+                loc=stmts[0].loc,
+                hint=f"add reduction(<op>:{name}) to the loop directive",
+            ))
+        else:
+            diags.append(Diagnostic(
+                "ACC203",
+                f"shared scalar '{name}' written in a work-shared loop",
+                loc=stmts[0].loc,
+                hint=f"privatise '{name}' or make the loop seq",
+            ))
+    return diags
+
+
+def _privatised_vars(region: Region) -> Set[str]:
+    """Vars privatised by this loop's directive or any enclosing directive."""
+    out: Set[str] = set()
+    chain = [region] + list(region.ancestors())
+    for r in chain:
+        d = r.directive
+        if d is None:
+            continue
+        for c in d.clauses_named("private", "firstprivate", "reduction"):
+            out.update(c.var_names)
+    return out
+
+
+def _declared_inside(body: Node) -> Set[str]:
+    """Vars declared inside the loop body (per-iteration locals)."""
+    out: Set[str] = set()
+    for stmt in walk(body):
+        if isinstance(stmt, DeclStmt):
+            out.update(decl.name for decl in stmt.decls)
+    return out
+
+
+def _control_vars(region: Region, loop: For) -> Set[str]:
+    """Loop variables of this loop and every nested/enclosing loop —
+    predetermined private in OpenACC."""
+    out = {loop.var}
+    for enclosing in region.enclosing_loops():
+        node = enclosing.node
+        out.add(node.loop.var if isinstance(node, AccLoop) else node.var)
+    for stmt in walk(loop.body):
+        if isinstance(stmt, For):
+            out.add(stmt.var)
+        elif isinstance(stmt, AccLoop):
+            out.add(stmt.loop.var)
+    return out
+
+
+def _own_statements(body: Node) -> Iterator[Node]:
+    """Walk ``body`` without descending into nested directive regions —
+    a nested ``AccLoop``'s body is analysed separately, with its own
+    clause context (reductions, privates) in scope."""
+    from dataclasses import fields
+
+    stack = [body]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (AccLoop, AccConstruct)):
+            continue
+        for f in fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, Node):
+                stack.append(value)
+            elif isinstance(value, (list, tuple)):
+                stack.extend(v for v in value if isinstance(v, Node))
+
+
+def _is_accumulation(stmt: Assign, name: str) -> bool:
+    """``s = s <op> ...`` / ``s = ... <op> s`` / ``s op= ...``."""
+    if stmt.op:  # compound assignment always reads the target
+        return True
+    return any(
+        isinstance(n, Ident) and n.name == name for n in walk(stmt.value)
+    )
+
+
+# ---------------------------------------------------------------------------
+# carried dependence detection
+# ---------------------------------------------------------------------------
+
+
+def _carried_array_dependence(
+    loop: For,
+) -> Optional[Tuple[str, int, int, object]]:
+    """A definite carried dependence: the same array written at ``i + c1``
+    and referenced at ``i + c2`` with ``c1 != c2`` (both offsets constant).
+
+    Returns ``(array, write_offset, other_offset, loc)`` or None.
+    """
+    var = loop.var
+    writes: List[Tuple[str, int, object]] = []
+    refs: Dict[str, Set[int]] = {}
+    for node in walk(loop.body):
+        if isinstance(node, Assign) and isinstance(node.target, Index):
+            entry = _indexed_access(node.target, var)
+            if entry is not None:
+                writes.append((entry[0], entry[1], node.loc))
+        if isinstance(node, Index):
+            entry = _indexed_access(node, var)
+            if entry is not None:
+                refs.setdefault(entry[0], set()).add(entry[1])
+    for array, w_off, loc in writes:
+        for r_off in refs.get(array, ()):  # includes the writes themselves
+            if r_off != w_off:
+                return (array, w_off, r_off, loc)
+    return None
+
+
+def _indexed_access(node: Index, var: str) -> Optional[Tuple[str, int]]:
+    """``a[i + c]`` (any single index position of form ``i +- c``) ->
+    ``(array_name, c)``; None when the shape is not recognised."""
+    if not isinstance(node.base, Ident):
+        return None
+    for index in node.indices:
+        offset = _affine_offset(index, var)
+        if offset is not None:
+            return (node.base.name, offset)
+    return None
+
+
+def _affine_offset(expr: Expr, var: str) -> Optional[int]:
+    """``i`` -> 0, ``i + c``/``c + i`` -> c, ``i - c`` -> -c, else None."""
+    if isinstance(expr, Ident):
+        return 0 if expr.name == var else None
+    if isinstance(expr, Binary) and expr.op in ("+", "-"):
+        left, right = expr.left, expr.right
+        if (isinstance(left, Ident) and left.name == var
+                and isinstance(right, IntLit)):
+            return right.value if expr.op == "+" else -right.value
+        if (expr.op == "+" and isinstance(right, Ident) and right.name == var
+                and isinstance(left, IntLit)):
+            return left.value
+    return None
+
+
+def _offset_str(var: str, offset: int) -> str:
+    if offset == 0:
+        return f"[{var}]"
+    sign = "+" if offset > 0 else "-"
+    return f"[{var} {sign} {abs(offset)}]"

@@ -4,15 +4,22 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from repro.templates.markers import (
+    CHECK_CLOSE,
+    CHECK_OPEN,
+    CROSS_CLOSE,
+    CROSS_OPEN,
+)
+
 
 def check(text: str) -> str:
     """Wrap text emitted only in the functional test."""
-    return f"<acctv:check>{text}</acctv:check>"
+    return f"{CHECK_OPEN}{text}{CHECK_CLOSE}"
 
 
 def cross(text: str) -> str:
     """Wrap text emitted only in the cross test."""
-    return f"<acctv:crosscheck>{text}</acctv:crosscheck>"
+    return f"{CROSS_OPEN}{text}{CROSS_CLOSE}"
 
 
 def swap(functional: str, cross_text: str) -> str:

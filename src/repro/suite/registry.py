@@ -8,11 +8,18 @@ for only one OpenACC feature".
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.spec.features import OPENACC_ALL, OPENACC_10
 from repro.templates import TestTemplate, parse_template
+
+
+def _did_you_mean(name: str, candidates: Iterable[str]) -> str:
+    """`` — did you mean 'x'?`` suffix for error messages, or ''."""
+    matches = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.6)
+    return f" — did you mean {matches[0]!r}?" if matches else ""
 
 
 class SuiteRegistry:
@@ -28,12 +35,22 @@ class SuiteRegistry:
                 raise ValueError(
                     f"template {template.name!r} tests unknown feature "
                     f"{template.feature!r}"
+                    f"{_did_you_mean(template.feature, (f.fid for f in OPENACC_ALL))}"
                 )
             key = (template.feature, template.language)
             if key in self._by_key:
+                # a duplicate is usually a typo'd/too-generic feature id:
+                # suggest a close feature that has no template yet
+                free = [
+                    f.fid for f in OPENACC_ALL
+                    if f.fid != template.feature
+                    and (f.fid, template.language) not in self._by_key
+                ]
                 raise ValueError(
                     f"duplicate template for feature {template.feature!r} "
-                    f"({template.language})"
+                    f"({template.language}): {template.name!r} collides with "
+                    f"{self._by_key[key].name!r}"
+                    f"{_did_you_mean(template.feature, free)}"
                 )
             self._by_key[key] = template
             self._order.append(template)

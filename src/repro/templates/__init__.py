@@ -21,6 +21,14 @@ follows the OpenMP validation suite lineage the authors adapted ([7], [8]):
 with caller parameters, so one template covers a family of sizes.
 """
 
+from repro.templates.markers import (
+    CHECK_CLOSE,
+    CHECK_OPEN,
+    CHECK_TAG,
+    CROSS_CLOSE,
+    CROSS_OPEN,
+    CROSS_TAG,
+)
 from repro.templates.model import GeneratedTest, TestTemplate, TemplateError
 from repro.templates.parser import parse_template
 from repro.templates.generator import (
@@ -31,6 +39,8 @@ from repro.templates.generator import (
 )
 
 __all__ = [
+    "CHECK_CLOSE", "CHECK_OPEN", "CHECK_TAG",
+    "CROSS_CLOSE", "CROSS_OPEN", "CROSS_TAG",
     "GeneratedTest", "TestTemplate", "TemplateError",
     "parse_template",
     "generate", "generate_cross", "generate_functional", "generate_pair",

@@ -12,10 +12,8 @@ from __future__ import annotations
 import re
 from typing import Dict, Optional
 
+from repro.templates.markers import CHECK_RE as _CHECK_RE, CROSS_RE as _CROSS_RE
 from repro.templates.model import GeneratedTest, TemplateError, TestTemplate
-
-_CHECK_RE = re.compile(r"<acctv:check>(.*?)</acctv:check>", re.DOTALL)
-_CROSS_RE = re.compile(r"<acctv:crosscheck>(.*?)</acctv:crosscheck>", re.DOTALL)
 _PLACEHOLDER_RE = re.compile(r"\{\{([A-Za-z_][A-Za-z0-9_]*)\}\}")
 
 

@@ -1,0 +1,32 @@
+"""The inline marker vocabulary shared by template authoring and parsing.
+
+``<acctv:check>`` wraps text emitted only in the *functional* test and
+``<acctv:crosscheck>`` text emitted only in the *cross* test.  Authoring
+(:mod:`repro.suite.builders`), detection (:meth:`TestTemplate.has_cross`),
+structural validation (:mod:`repro.templates.parser`) and generation
+(:mod:`repro.templates.generator`) all build their literals and regexes
+from these constants, so renaming a marker cannot desync generation from
+cross detection.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: tag names (inside the ``acctv:`` namespace)
+CHECK_TAG = "check"
+CROSS_TAG = "crosscheck"
+
+#: literal marker spellings
+CHECK_OPEN = f"<acctv:{CHECK_TAG}>"
+CHECK_CLOSE = f"</acctv:{CHECK_TAG}>"
+CROSS_OPEN = f"<acctv:{CROSS_TAG}>"
+CROSS_CLOSE = f"</acctv:{CROSS_TAG}>"
+
+#: compiled extraction patterns (body is group 1)
+CHECK_RE = re.compile(
+    f"{re.escape(CHECK_OPEN)}(.*?){re.escape(CHECK_CLOSE)}", re.DOTALL
+)
+CROSS_RE = re.compile(
+    f"{re.escape(CROSS_OPEN)}(.*?){re.escape(CROSS_CLOSE)}", re.DOTALL
+)

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.templates.markers import CHECK_OPEN, CROSS_OPEN
+
 
 class TemplateError(Exception):
     """Malformed template text."""
@@ -38,7 +40,7 @@ class TestTemplate:
 
     @property
     def has_cross(self) -> bool:
-        return "<acctv:check>" in self.code or "<acctv:crosscheck>" in self.code
+        return CHECK_OPEN in self.code or CROSS_OPEN in self.code
 
 
 @dataclass

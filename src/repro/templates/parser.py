@@ -5,6 +5,13 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional
 
+from repro.templates.markers import (
+    CHECK_CLOSE,
+    CHECK_OPEN,
+    CHECK_TAG,
+    CROSS_OPEN,
+    CROSS_TAG,
+)
 from repro.templates.model import TemplateError, TestTemplate
 
 _TAG_RE = re.compile(
@@ -91,7 +98,7 @@ def parse_template(text: str, name: Optional[str] = None) -> TestTemplate:
 
 
 def _check_balance(code: str) -> None:
-    for marker in ("check", "crosscheck"):
+    for marker in (CHECK_TAG, CROSS_TAG):
         opens = len(re.findall(rf"<acctv:{marker}>", code))
         closes = len(re.findall(rf"</acctv:{marker}>", code))
         if opens != closes:
@@ -100,8 +107,11 @@ def _check_balance(code: str) -> None:
             )
     # nesting check/crosscheck inside each other is not meaningful
     inner = re.findall(
-        r"<acctv:check>((?:(?!</acctv:check>).)*?)</acctv:check>", code, re.DOTALL
+        rf"{re.escape(CHECK_OPEN)}((?:(?!{re.escape(CHECK_CLOSE)}).)*?)"
+        rf"{re.escape(CHECK_CLOSE)}",
+        code,
+        re.DOTALL,
     )
     for body in inner:
-        if "<acctv:crosscheck>" in body:
+        if CROSS_OPEN in body:
             raise TemplateError("crosscheck marker nested inside check marker")

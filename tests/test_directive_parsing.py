@@ -144,3 +144,93 @@ class TestAliases:
         assert stripped.clause("copy") is not None
         # the original is untouched
         assert d.clause("async") is not None
+
+
+class TestDuplicateScalarClauses:
+    """A single-valued clause appearing twice is rejected at parse time
+    (`num_gangs(2) num_gangs(4)` is ambiguous, not additive)."""
+
+    def test_duplicate_num_gangs_rejected(self):
+        with pytest.raises(ParseError, match="duplicate clause 'num_gangs'"):
+            c_directive("parallel num_gangs(2) num_gangs(4)")
+
+    def test_duplicate_if_rejected_fortran(self):
+        with pytest.raises(ParseError, match="duplicate clause 'if'"):
+            f_directive("parallel if(1) if(0)")
+
+    def test_error_carries_clause_location(self):
+        with pytest.raises(ParseError) as err:
+            c_directive("parallel num_gangs(2) num_gangs(4)")
+        # the error points at the *second* occurrence
+        assert err.value.loc.column == len("parallel num_gangs(2) ") + 1
+
+    def test_repeated_wait_args_still_allowed(self):
+        # multiple wait arguments name multiple queues; not single-valued
+        d = c_directive("parallel async(1) wait(2) wait(3)")
+        assert len(d.clauses_named("wait")) == 2
+
+    def test_distinct_scalar_clauses_fine(self):
+        d = c_directive("parallel num_gangs(2) num_workers(4) vector_length(8)")
+        assert len(d.clauses) == 3
+
+
+class TestFrontendErrorLocations:
+    """Malformed directives must fail with the *real* source line/column —
+    directive payloads are sub-lexed, and their tokens are rebased."""
+
+    C_PREFIX = "int main() {\n  int a[4];\n  "
+    F_PREFIX = "program t\n  integer :: a(4)\n  "
+
+    def _c(self, directive_line, rest="  { }\n  return 1;\n}\n"):
+        from repro.minic import parse_program
+
+        return parse_program(self.C_PREFIX + directive_line + "\n" + rest)
+
+    def _f(self, directive_line,
+           rest="  !$acc end parallel\n  main = 1\nend program t\n"):
+        from repro.minifort import parse_program
+
+        return parse_program(self.F_PREFIX + directive_line + "\n" + rest)
+
+    def test_c_unclosed_paren(self):
+        with pytest.raises(ParseError) as err:
+            self._c("#pragma acc parallel copy(a[0:4]")
+        assert err.value.loc.line == 3
+
+    def test_c_unknown_clause(self):
+        line = "#pragma acc parallel frobnicate(a)"
+        with pytest.raises(ParseError, match="unknown OpenACC clause") as err:
+            self._c(line)
+        assert err.value.loc.line == 3
+        assert err.value.loc.column == 2 + line.index("frobnicate") + 1
+
+    def test_c_bad_section_syntax(self):
+        line = "#pragma acc parallel copy(a[0:4:2])"
+        with pytest.raises(ParseError) as err:
+            self._c(line)
+        assert err.value.loc.line == 3
+        # points at the stray second ':'
+        assert err.value.loc.column == 2 + line.rindex(":") + 1
+
+    def test_fortran_unclosed_paren(self):
+        with pytest.raises(ParseError) as err:
+            self._f("!$acc parallel copy(a(1:4)")
+        assert err.value.loc.line == 3
+
+    def test_fortran_unknown_clause(self):
+        line = "!$acc parallel frobnicate(a)"
+        with pytest.raises(ParseError, match="unknown OpenACC clause") as err:
+            self._f(line)
+        assert err.value.loc.line == 3
+        assert err.value.loc.column == 2 + line.index("frobnicate") + 1
+
+    def test_fortran_bad_section_syntax(self):
+        line = "!$acc parallel copy(a(1:4:2))"
+        with pytest.raises(ParseError) as err:
+            self._f(line)
+        assert err.value.loc.line == 3
+        assert err.value.loc.column == 2 + line.rindex(":", 0, line.rindex(")")) + 1
+
+    def test_c_unknown_directive(self):
+        with pytest.raises(ParseError, match="unknown OpenACC directive"):
+            self._c("#pragma acc warp_speed")
