@@ -30,6 +30,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import table1_counts, vendor_pass_rates
+from repro.compiler import BACKENDS as INTERPRETER_BACKENDS
 from repro.compiler import Compiler, CompilerBehavior
 from repro.compiler.vendors import VENDORS, vendor_version
 from repro.faults import FaultPlan, InjectedJournalTear
@@ -199,6 +200,7 @@ def _config(args) -> HarnessConfig:
         template_timeout_s=args.timeout_s,
         fault_plan=args.inject_faults,
         lint=getattr(args, "lint", False),
+        backend=getattr(args, "backend", "tree"),
     )
 
 
@@ -562,6 +564,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "to --output as FILE.metrics.txt/.csv, else printed")
     p.add_argument("--no-compile-cache", action="store_true",
                    help="disable compile memoisation")
+    p.add_argument("--backend", default="tree",
+                   choices=list(INTERPRETER_BACKENDS),
+                   help="interpreter backend: the reference tree walker or "
+                        "the compiled-closures fast path (identical reports "
+                        "either way)")
     p.add_argument("--lint", action="store_true",
                    help="static-check each template before compiling; "
                         "templates with error diagnostics are marked "

@@ -9,23 +9,28 @@ is carried entirely by :class:`~repro.compiler.behavior.CompilerBehavior`.
 """
 
 from repro.compiler.behavior import CompilerBehavior, REFERENCE_BEHAVIOR
-from repro.compiler.cache import CacheOutcome, CompileCache
+from repro.compiler.cache import CacheOutcome, CacheStats, CompileCache
+from repro.compiler.closures import LoweredProgram, lower_program
 from repro.compiler.errors import (
     CompileError,
     CompilerCrashError,
     UnsupportedFeatureError,
 )
 from repro.compiler.interp import (
+    BACKENDS,
     ExecutionLimits,
     ExecutionResult,
     Interpreter,
+    InterpreterReuseError,
 )
-from repro.compiler.pipeline import CompiledProgram, Compiler
+from repro.compiler.pipeline import CompiledProgram, Compiler, ProgramRunner
 
 __all__ = [
     "CompilerBehavior", "REFERENCE_BEHAVIOR",
-    "CacheOutcome", "CompileCache",
+    "CacheOutcome", "CacheStats", "CompileCache",
+    "LoweredProgram", "lower_program",
     "CompileError", "CompilerCrashError", "UnsupportedFeatureError",
-    "ExecutionLimits", "ExecutionResult", "Interpreter",
-    "CompiledProgram", "Compiler",
+    "BACKENDS", "ExecutionLimits", "ExecutionResult", "Interpreter",
+    "InterpreterReuseError",
+    "CompiledProgram", "Compiler", "ProgramRunner",
 ]

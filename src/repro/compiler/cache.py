@@ -46,6 +46,31 @@ class CacheOutcome:
     hit: bool
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of the cache counters.
+
+    Taken under the cache lock, so ``hits + misses == lookups`` always
+    holds *within one snapshot* — reading the ``hits``/``misses``
+    attributes separately under the thread policy can tear (one counter
+    from before a concurrent update, the other from after) and report
+    totals that don't sum to the number of lookups.
+    """
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class CompileCache:
     """Bounded LRU cache of compile results (successes and errors)."""
 
@@ -63,8 +88,14 @@ class CompileCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self.stats().hit_rate
+
+    def stats(self) -> CacheStats:
+        """Snapshot hits/misses/entries atomically (see CacheStats)."""
+        with self._lock:
+            return CacheStats(
+                hits=self.hits, misses=self.misses, entries=len(self._entries)
+            )
 
     def clear(self) -> None:
         with self._lock:

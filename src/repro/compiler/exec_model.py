@@ -24,7 +24,6 @@ which vendor it is simulating.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -66,6 +65,55 @@ _DATA_ACTION_CLAUSES = (
     "present_or_copy", "present_or_copyin", "present_or_copyout",
     "present_or_create",
 )
+
+
+class _IterationSpace:
+    """Lazy cartesian iteration space of one or more (collapsed) loops.
+
+    Replaces ``list(itertools.product(*spaces))``: a 2e9-trip loop must cost
+    O(1) memory so the interpreter's step budget — not the allocator — is
+    what stops it.  Yields index tuples in exactly ``itertools.product``
+    order (last loop varies fastest), and supports the cyclic ``[a::b]``
+    sharing the gang/worker/vector schedulers use, by slicing a lazy
+    ``range`` of flat indices and decoding on iteration.
+    """
+
+    __slots__ = ("_spaces", "_indices")
+
+    def __init__(self, spaces: Sequence[Sequence[int]], indices=None):
+        self._spaces = tuple(spaces)
+        if indices is None:
+            total = 1
+            for space in self._spaces:
+                total *= len(space)
+            indices = range(total)
+        self._indices = indices
+
+    def __len__(self) -> int:
+        return len(self._indices)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return _IterationSpace(self._spaces, self._indices[item])
+        return self._decode(self._indices[item])
+
+    def __iter__(self):
+        spaces = self._spaces
+        if len(spaces) == 1:
+            space = spaces[0]
+            for ix in self._indices:
+                yield (space[ix],)
+            return
+        for ix in self._indices:
+            yield self._decode(ix)
+
+    def _decode(self, ix: int) -> Tuple[int, ...]:
+        out = []
+        for space in reversed(self._spaces):
+            ix, r = divmod(ix, len(space))
+            out.append(space[r])
+        out.reverse()
+        return tuple(out)
 
 
 @dataclass
@@ -737,8 +785,8 @@ class AccExecutor:
 
     def _iteration_space(
         self, d: Directive, loop: For, env
-    ) -> Tuple[List[For], List[Tuple[int, ...]]]:
-        """Apply collapse and materialise the iteration tuples."""
+    ) -> Tuple[List[For], "_IterationSpace"]:
+        """Apply collapse and build the (lazy) iteration-tuple space."""
         collapse = 1
         clause = d.clause("collapse")
         if clause is not None and not self.behavior.ignore_collapse:
@@ -754,7 +802,7 @@ class AccExecutor:
             loops.append(inner)
             current = inner
         spaces = [self.interp.iteration_values(l, env) for l in loops]
-        return loops, list(itertools.product(*spaces))
+        return loops, _IterationSpace(spaces)
 
     def _clause_int(self, d: Directive, name: str, env, default):
         clause = d.clause(name)

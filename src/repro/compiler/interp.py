@@ -74,6 +74,20 @@ from repro.spec.devices import (
 # ---------------------------------------------------------------------------
 
 
+#: interpreter execution backends: the reference tree walker and the
+#: closure-compilation backend (see repro.compiler.closures)
+BACKENDS = ("tree", "closures")
+
+
+class InterpreterReuseError(RuntimeError):
+    """``run()`` called again on an interpreter that cannot be reset.
+
+    Deliberately *not* an :class:`AccRuntimeError`: reusing an interpreter
+    over a caller-supplied machine is a harness programming error, never a
+    simulated-program crash, so it must not be classified as one.
+    """
+
+
 class BreakSignal(Exception):
     pass
 
@@ -156,44 +170,101 @@ class Interpreter:
         machine: Optional[Machine] = None,
         env_vars: Optional[Dict[str, str]] = None,
         rng_seed: int = 12345,
+        backend: str = "tree",
+        lowered=None,
     ):
-        from repro.compiler.exec_model import AccExecutor  # cycle-free import
-
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown interpreter backend {backend!r}; "
+                f"expected one of {', '.join(BACKENDS)}"
+            )
         self.program = program
         self.behavior = behavior
-        if machine is None:
-            machine = Machine(
-                accel_count=1,
-                accel_device_type=behavior.concrete_device_type,
-                profile=ExecProfile(
-                    default_num_gangs=behavior.default_num_gangs,
-                    default_num_workers=behavior.default_num_workers,
-                    default_vector_length=behavior.default_vector_length,
-                    worker_ignored=behavior.worker_ignored,
-                    mapping=behavior.mapping_description,
-                ),
-            )
-        self.machine = machine
-        self.acc = AccExecutor(self)
-        self.runtime = AccRuntime(machine, hooks=self.acc)
-        if env_vars:
-            from repro.accsim.envvars import apply_environment
+        self.backend = backend
+        if backend == "closures":
+            from repro.compiler.closures import invoke_function, lower_program
 
-            apply_environment(machine, env_vars)
+            if lowered is None:
+                lowered = lower_program(program)
+            self._lowered = lowered
+            self._invoke = invoke_function
+        else:
+            self._lowered = None
+            self._invoke = None
+        self._env_vars = dict(env_vars) if env_vars else None
+        self._rng_seed = rng_seed
+        self._owns_machine = machine is None
+        if machine is None:
+            machine = self._fresh_machine()
+        self._attach_machine(machine)
 
         self.output: List[str] = []
         self.steps = 0
         self.limits = ExecutionLimits()
+        #: hot-path mirror of ``limits.max_steps`` (one attribute hop instead
+        #: of two in every statement's step-budget check)
+        self._max_steps = self.limits.max_steps
         self._rng_state = rng_seed
         self.globals = Env()
         self._install_constants()
         self._user_functions = {fn.name: fn for fn in program.functions}
+        self._has_run = False
+
+    def _fresh_machine(self) -> Machine:
+        behavior = self.behavior
+        return Machine(
+            accel_count=1,
+            accel_device_type=behavior.concrete_device_type,
+            profile=ExecProfile(
+                default_num_gangs=behavior.default_num_gangs,
+                default_num_workers=behavior.default_num_workers,
+                default_vector_length=behavior.default_vector_length,
+                worker_ignored=behavior.worker_ignored,
+                mapping=behavior.mapping_description,
+            ),
+        )
+
+    def _attach_machine(self, machine: Machine) -> None:
+        from repro.compiler.exec_model import AccExecutor  # cycle-free import
+
+        self.machine = machine
+        self.acc = AccExecutor(self)
+        self.runtime = AccRuntime(machine, hooks=self.acc)
+        if self._env_vars:
+            from repro.accsim.envvars import apply_environment
+
+            apply_environment(machine, self._env_vars)
 
     # ------------------------------------------------------------------ run
 
     def run(self, entry: str = "main", limits: Optional[ExecutionLimits] = None) -> ExecutionResult:
+        """Execute ``entry`` and return the run's :class:`ExecutionResult`.
+
+        ``run()`` is reuse-safe: every call executes on per-run state reset
+        to how ``__init__`` left it (fresh globals, output, RNG, machine and
+        device counters).  The exception is an interpreter constructed over
+        a *caller-supplied* machine — that machine's counters cannot be
+        rebuilt here, so a second ``run()`` raises
+        :class:`InterpreterReuseError` instead of silently double-counting
+        ``bytes_to_device``/``kernels_launched``.
+        """
         if limits is not None:
             self.limits = limits
+        self._max_steps = self.limits.max_steps
+        if self._has_run:
+            if not self._owns_machine:
+                raise InterpreterReuseError(
+                    "Interpreter.run() called twice over a caller-supplied "
+                    "machine: its device counters cannot be reset, so the "
+                    "second result would double-count data traffic and "
+                    "kernel launches; build a new Interpreter instead"
+                )
+            self._attach_machine(self._fresh_machine())
+            self.output = []
+            self._rng_state = self._rng_seed
+            self.globals = Env()
+            self._install_constants()
+        self._has_run = True
         self.steps = 0
         for decl in self.program.globals:
             self._declare(decl, self.globals)
@@ -220,6 +291,10 @@ class Interpreter:
     # ----------------------------------------------------------- functions
 
     def call_function(self, fn: Function, args: Sequence[object]) -> object:
+        if self._lowered is not None:
+            lowered_fn = self._lowered.functions.get(fn.name)
+            if lowered_fn is not None:
+                return self._invoke(self, lowered_fn, args)
         env = self.globals.child()
         if len(args) != len(fn.params):
             raise AccRuntimeError(
@@ -243,6 +318,9 @@ class Interpreter:
     # ----------------------------------------------------------- statements
 
     def exec_stmt(self, stmt: Stmt, env: Env) -> None:
+        if self._lowered is not None:
+            self._lowered.stmt_closure(stmt)(self, env)
+            return
         self.steps += 1
         if self.steps > self.limits.max_steps:
             raise ExecutionTimeout(
@@ -300,6 +378,9 @@ class Interpreter:
 
     def exec_for(self, loop: For, env: Env) -> None:
         """Execute a canonical counted loop sequentially."""
+        if self._lowered is not None:
+            self._lowered.for_closure(loop)(self, env)
+            return
         scope = env.child()
         cell = scope.lookup(loop.var)
         if cell is None:
@@ -316,8 +397,13 @@ class Interpreter:
             except ContinueSignal:
                 continue
 
-    def iteration_values(self, loop: For, env: Env) -> List[int]:
-        """The iteration-variable value sequence of a canonical loop."""
+    def iteration_values(self, loop: For, env: Env) -> range:
+        """The iteration-variable value sequence of a canonical loop.
+
+        Returned as a lazy ``range`` — a huge trip count must cost O(1)
+        memory here so the step budget (not the allocator) is what stops a
+        runaway loop.
+        """
         start = _as_int(self.eval(loop.start, env))
         bound = _as_int(self.eval(loop.bound, env))
         step = _as_int(self.eval(loop.step, env))
@@ -325,9 +411,9 @@ class Interpreter:
             raise AccRuntimeError(f"zero loop step at {loop.loc}")
         if step > 0:
             stop = bound + 1 if loop.inclusive else bound
-            return list(range(start, stop, step))
-        stop = bound - 1 if loop.inclusive else bound
-        return list(range(start, stop, step))
+        else:
+            stop = bound - 1 if loop.inclusive else bound
+        return range(start, stop, step)
 
     def exec_assign(self, stmt: Assign, env: Env) -> None:
         value = self.eval(stmt.value, env)
@@ -363,6 +449,8 @@ class Interpreter:
     # ---------------------------------------------------------- expressions
 
     def eval(self, expr: Expr, env: Env):
+        if self._lowered is not None:
+            return self._lowered.expr_closure(expr)(self, env)
         kind = type(expr)
         if kind is IntLit:
             return expr.value
@@ -406,47 +494,7 @@ class Interpreter:
         return self._binary_value(op, left, right, expr)
 
     def _binary_value(self, op: str, left, right, node):
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                raise AccRuntimeError(f"division by zero at {node.loc}")
-            if isinstance(left, int) and isinstance(right, int):
-                return _trunc_div(left, right)
-            return left / right
-        if op == "%":
-            if right == 0:
-                raise AccRuntimeError(f"modulo by zero at {node.loc}")
-            return left - _trunc_div(left, right) * right
-        if op == "**":
-            return left ** right
-        if op == "==":
-            return 1 if left == right else 0
-        if op == "!=":
-            return 1 if left != right else 0
-        if op == "<":
-            return 1 if left < right else 0
-        if op == "<=":
-            return 1 if left <= right else 0
-        if op == ">":
-            return 1 if left > right else 0
-        if op == ">=":
-            return 1 if left >= right else 0
-        if op == "&":
-            return int(left) & int(right)
-        if op == "|":
-            return int(left) | int(right)
-        if op == "^":
-            return int(left) ^ int(right)
-        if op == "<<":
-            return int(left) << int(right)
-        if op == ">>":
-            return int(left) >> int(right)
-        raise AccRuntimeError(f"unknown binary operator {op!r} at {node.loc}")
+        return binary_value(op, left, right, node)
 
     def _eval_unary(self, expr: Unary, env: Env):
         if expr.op == "*":
@@ -621,6 +669,55 @@ def _truthy(value) -> bool:
 def _trunc_div(a: int, b: int) -> int:
     q = abs(a) // abs(b)
     return q if (a >= 0) == (b >= 0) else -q
+
+
+def binary_value(op: str, left, right, node):
+    """C/Fortran binary-operator semantics shared by both backends.
+
+    ``node`` supplies the source location for error diagnostics; the error
+    strings are part of suite reports and must match across backends.
+    """
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise AccRuntimeError(f"division by zero at {node.loc}")
+        if isinstance(left, int) and isinstance(right, int):
+            return _trunc_div(left, right)
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise AccRuntimeError(f"modulo by zero at {node.loc}")
+        return left - _trunc_div(left, right) * right
+    if op == "**":
+        return left ** right
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    if op == "&":
+        return int(left) & int(right)
+    if op == "|":
+        return int(left) | int(right)
+    if op == "^":
+        return int(left) ^ int(right)
+    if op == "<<":
+        return int(left) << int(right)
+    if op == ">>":
+        return int(left) >> int(right)
+    raise AccRuntimeError(f"unknown binary operator {op!r} at {node.loc}")
 
 
 def _cell_scalar(cell: Cell):

@@ -6,6 +6,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.compiler.interp import BACKENDS as INTERPRETER_BACKENDS
 from repro.faults import FaultPlan
 
 #: execution policies understood by :mod:`repro.harness.engine`
@@ -65,6 +66,10 @@ class HarnessConfig:
     #: template first, and mark units with error diagnostics STATIC_ERROR
     #: (a corpus defect) instead of compiling/running them
     lint: bool = False
+    #: interpreter backend: 'tree' (the reference walker) or 'closures'
+    #: (repro.compiler.closures).  Purely an execution knob — both backends
+    #: produce byte-identical reports for the same configuration
+    backend: str = "tree"
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -92,6 +97,11 @@ class HarnessConfig:
             raise ValueError(
                 "template_timeout_s must be > 0 when set "
                 f"(got {self.template_timeout_s})"
+            )
+        if self.backend not in INTERPRETER_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {', '.join(INTERPRETER_BACKENDS)}"
             )
 
     def iteration_seeds(self):

@@ -502,10 +502,14 @@ class ValidationRunner:
                 return phase
             limits = ExecutionLimits(max_steps=self.config.max_steps)
             env_vars = template.environment or None
+            # batch per-iteration setup: the runner shares the lowered
+            # program and machine profile across the phase's M iterations
+            # (each iteration still executes on a fresh machine)
+            runner = compiled.runner(backend=self.config.backend)
             with tracer.span("execute", key=pkey) as execute_span:
                 for k, seed in enumerate(self.config.iteration_seeds()):
                     self.faults.iteration_site(f"{pkey}:{k}")
-                    outcome = self._run_once(compiled, env_vars, limits, seed)
+                    outcome = self._run_once(runner, env_vars, limits, seed)
                     phase.iterations.append(outcome)
                     if tracer.enabled:
                         self._observe_iteration(pkey, seed, outcome)
@@ -559,9 +563,9 @@ class ValidationRunner:
             metrics.counter("profile.queue_waits").inc(outcome.queue_waits)
 
     @staticmethod
-    def _run_once(compiled, env_vars, limits, seed) -> IterationOutcome:
+    def _run_once(runnable, env_vars, limits, seed) -> IterationOutcome:
         try:
-            result = compiled.run(env_vars=env_vars, limits=limits, rng_seed=seed)
+            result = runnable.run(env_vars=env_vars, limits=limits, rng_seed=seed)
         except ExecutionTimeout as err:
             return IterationOutcome(
                 ok=False, error=str(err), kind=FailureKind.TIMEOUT
