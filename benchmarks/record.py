@@ -25,6 +25,18 @@ closures-over-tree speedup drops below ``--min-speedup`` (default 3.0).
 The speedup floor is machine-independent — both backends run on the same
 box — so it is the primary signal; the absolute steps/sec comparison
 catches environment-level regressions on stable runners.
+
+Perf trajectory (``BENCH_history.jsonl``): pass ``--history`` to append the
+run as one JSON line annotated with ``--git-sha`` (required with
+``--history``) and, optionally, an explicit ``--timestamp`` so committed
+history entries carry the commit's time rather than the recording
+machine's clock.  ``repro obs perf benchmarks/BENCH_history.jsonl`` renders
+the trajectory as an HTML page::
+
+    PYTHONPATH=src python -m benchmarks.record \\
+        --output benchmarks/BENCH_hotpath.json \\
+        --history benchmarks/BENCH_history.jsonl \\
+        --git-sha "$(git rev-parse --short HEAD)"
 """
 
 from __future__ import annotations
@@ -169,6 +181,23 @@ def record(args) -> dict:
     return data
 
 
+def append_history(data: dict, path: str, git_sha: str,
+                   timestamp: str = None) -> dict:
+    """Append one annotated history entry to ``path`` (JSONL).
+
+    The entry is the full baseline record plus ``git_sha``; an explicit
+    ``timestamp`` overrides ``recorded_at`` so committed entries carry
+    commit time, not the recording machine's ambient clock.
+    """
+    entry = dict(data)
+    entry["git_sha"] = git_sha
+    if timestamp:
+        entry["recorded_at"] = timestamp
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
 def check(data: dict, args) -> int:
     """Apply the gates; returns a process exit code."""
     failures = []
@@ -219,7 +248,18 @@ def main(argv=None) -> int:
                         help="microbenchmark repetitions (best-of)")
     parser.add_argument("--iterations", type=int, default=2,
                         help="engine benchmark iterations per template (M)")
+    parser.add_argument("--history", default=None, metavar="JSONL",
+                        help="append this run to a perf-trajectory history "
+                             "file (one JSON line per run)")
+    parser.add_argument("--git-sha", default=None,
+                        help="git SHA to annotate the history entry with "
+                             "(required with --history)")
+    parser.add_argument("--timestamp", default=None,
+                        help="explicit recorded_at for the history entry "
+                             "(defaults to the recording time)")
     args = parser.parse_args(argv)
+    if args.history and not args.git_sha:
+        parser.error("--history requires --git-sha")
 
     data = record(args)
 
@@ -239,6 +279,10 @@ def main(argv=None) -> int:
             json.dump(data, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.output}")
+
+    if args.history:
+        append_history(data, args.history, args.git_sha, args.timestamp)
+        print(f"appended to {args.history}")
 
     return check(data, args)
 

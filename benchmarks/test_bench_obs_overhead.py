@@ -20,9 +20,9 @@ from repro.harness import HarnessConfig, ValidationRunner, render_csv
 from repro.obs import Tracer
 
 
-def _run(suite, tracer=None):
+def _run(suite, tracer=None, **config_kw):
     behavior = vendor_version("pgi", "13.2").behavior("c")
-    config = HarnessConfig(iterations=3, languages=("c",))
+    config = HarnessConfig(iterations=3, languages=("c",), **config_kw)
     runner = ValidationRunner(behavior, config, tracer=tracer)
     start = time.perf_counter()
     report = runner.run_suite(suite)
@@ -62,4 +62,48 @@ def test_bench_tracing_overhead(benchmark, suite10):
     assert overhead <= 1.6, (
         f"tracing overhead {overhead:.2f}x exceeds the 1.6x budget "
         f"({untraced_s:.2f}s -> {traced_s:.2f}s)"
+    )
+
+
+def test_bench_live_telemetry_overhead(benchmark, suite10, tmp_path):
+    """Live telemetry (NDJSON stream + prom textfile) must stay cheap.
+
+    Every unit completion writes and flushes one stream line; snapshots
+    (and the fsync'd atomic prom rewrite they trigger) are throttled to
+    one per 0.2s.  The gate: a fully telemetered run costs at most 1.15x
+    an untelemetered one.
+    """
+    from repro.obs.live import lint_prometheus, read_live
+
+    plain_report, plain_s = _run(suite10)
+
+    stream = tmp_path / "bench.ndjson"
+    prom = tmp_path / "bench.prom"
+
+    def live_run():
+        return _run(suite10, live_stream=str(stream), prom=str(prom))
+
+    live_report, live_s = benchmark.pedantic(live_run, rounds=1, iterations=1)
+    overhead = live_s / plain_s
+
+    parsed = read_live(str(stream))
+    print_series("Live telemetry — streamed vs untelemetered, full C suite", [
+        f"plain    {plain_s:7.2f} s",
+        f"live     {live_s:7.2f} s   overhead {overhead:5.2f}x   "
+        f"{len(parsed.records)} stream records, "
+        f"{len(parsed.snapshots())} snapshots",
+    ])
+
+    # telemetry observes the run, it must never change it
+    assert render_csv(live_report) == render_csv(plain_report)
+
+    # the stream captured every unit and a lint-clean prom export
+    assert len(parsed.events("unit.finished")) == len(live_report.results)
+    assert parsed.final_snapshot is not None
+    assert lint_prometheus(prom.read_text()) == []
+
+    # bounded cost: the PR's acceptance gate
+    assert overhead <= 1.15, (
+        f"live-telemetry overhead {overhead:.2f}x exceeds the 1.15x budget "
+        f"({plain_s:.2f}s -> {live_s:.2f}s)"
     )

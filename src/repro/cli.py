@@ -17,7 +17,13 @@ Section III (compiler configuration, feature selection, result formats):
   ``validate/titan --trace FILE.jsonl [--profile]``;
 * ``repro journal inspect`` — examine the crash-safe campaign journal
   written by ``validate/titan --journal FILE`` (resumable with
-  ``--resume FILE``).
+  ``--resume FILE``);
+* ``repro obs tail`` — follow or summarize the live-telemetry NDJSON
+  stream written by ``validate/titan --live-stream FILE`` (which also
+  accept ``--status`` for a TTY progress line and ``--prom FILE`` for a
+  Prometheus textfile);
+* ``repro obs perf`` — render the committed bench history
+  (``benchmarks/BENCH_history.jsonl``) as a perf-trajectory HTML page.
 
 Invoke as ``python -m repro <command> ...``.
 """
@@ -201,6 +207,9 @@ def _config(args) -> HarnessConfig:
         fault_plan=args.inject_faults,
         lint=getattr(args, "lint", False),
         backend=getattr(args, "backend", "tree"),
+        live_stream=getattr(args, "live_stream", None),
+        status=getattr(args, "status", False),
+        prom=getattr(args, "prom", None),
     )
 
 
@@ -385,7 +394,10 @@ def cmd_titan(args) -> int:
     config = HarnessConfig(iterations=1, run_cross=False, languages=("c",),
                            retries=args.retries,
                            template_timeout_s=args.timeout_s,
-                           fault_plan=args.inject_faults)
+                           fault_plan=args.inject_faults,
+                           live_stream=args.live_stream,
+                           status=args.status,
+                           prom=args.prom)
     journal = None
     displaced: list = []
     if args.journal or args.resume:
@@ -420,6 +432,9 @@ def cmd_titan(args) -> int:
         _restore_handlers(displaced)
         if journal is not None:
             journal.close()
+        # finalize live sinks even on an interrupted sweep: the stream
+        # gets its final snapshot, the status line its newline
+        harness.finish()
     for check in checks:
         status = "FLAGGED" if check.flagged else "ok"
         print(f"node {check.node_id:3d} {check.stack:15s} "
@@ -468,6 +483,124 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _obs_tail(args) -> int:
+    from repro.obs.live import (
+        read_live,
+        render_record_line,
+        render_tally_text,
+    )
+
+    if args.follow:
+        return _obs_follow(args)
+    try:
+        # tolerant mode: a stream with a torn tail (the campaign process
+        # was killed mid-write) still reads, with the damage counted
+        stream = read_live(args.file, strict=False)
+    except (OSError, ValueError) as err:
+        print(f"cannot read live stream {args.file!r}: {err}",
+              file=sys.stderr)
+        return 1
+    if stream.malformed:
+        print(f"warning: skipped {stream.malformed} malformed stream "
+              "line(s) (torn tail?)", file=sys.stderr)
+    if args.summarize:
+        print(render_tally_text(stream.tally(),
+                                final=stream.final_snapshot), end="")
+    else:
+        for record in stream.records:
+            print(render_record_line(record))
+    return 0
+
+
+def _obs_follow(args) -> int:
+    """Poll the stream file and print records as they land.
+
+    Only complete (newline-terminated) lines are consumed, so a record
+    the writer is mid-way through never prints garbled; unparsable
+    complete lines are skipped with a warning.  Exits when the final
+    snapshot arrives, or on Ctrl-C.
+    """
+    import json as _json
+    import time as _time
+
+    from repro.obs.live import render_record_line
+
+    offset = 0
+    buffered = ""
+    try:
+        while True:
+            try:
+                with open(args.file, encoding="utf-8") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                _time.sleep(args.poll_s)
+                continue
+            offset += len(chunk.encode("utf-8"))
+            buffered += chunk
+            while "\n" in buffered:
+                line, buffered = buffered.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = _json.loads(line)
+                except ValueError:
+                    print("warning: skipped malformed stream line",
+                          file=sys.stderr)
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                if record.get("type") == "meta":
+                    continue
+                print(render_record_line(record), flush=True)
+                if record.get("type") == "snapshot" and record.get("final"):
+                    return 0
+            _time.sleep(args.poll_s)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _obs_perf(args) -> int:
+    import json as _json
+
+    from repro.obs import render_perf_html
+
+    entries: list = []
+    for path in args.inputs:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as err:
+            print(f"cannot read {path!r}: {err}", file=sys.stderr)
+            return 1
+        try:
+            if path.endswith(".jsonl"):
+                entries.extend(_json.loads(line)
+                               for line in text.splitlines() if line.strip())
+            else:
+                entries.append(_json.loads(text))
+        except ValueError as err:
+            print(f"cannot parse {path!r}: {err}", file=sys.stderr)
+            return 1
+    if not entries:
+        print("no bench history entries found", file=sys.stderr)
+        return 1
+    page = render_perf_html(entries)
+    if args.output:
+        atomic_write_text(args.output, page)
+        print(f"wrote {args.output} ({len(entries)} run(s))")
+    else:
+        print(page)
+    return 0
+
+
+def cmd_obs(args) -> int:
+    if args.obs_command == "tail":
+        return _obs_tail(args)
+    return _obs_perf(args)
+
+
 def cmd_journal(args) -> int:
     from repro.journal import JournalError, read_journal
 
@@ -508,6 +641,20 @@ def _add_journal_flags(p) -> None:
                             "journal: intact records are replayed, only "
                             "missing units re-run, and the final report is "
                             "byte-identical to an uninterrupted run")
+
+
+def _add_live_flags(p) -> None:
+    p.add_argument("--live-stream", metavar="FILE", dest="live_stream",
+                   help="stream live campaign telemetry to FILE as NDJSON "
+                        "(events + periodic snapshots; follow with "
+                        "`repro obs tail FILE --follow`)")
+    p.add_argument("--status", action="store_true",
+                   help="repaint a one-line progress/ETA status on stderr "
+                        "as units complete")
+    p.add_argument("--prom", metavar="FILE", dest="prom",
+                   help="export campaign progress as a Prometheus textfile "
+                        "(atomically rewritten per snapshot, for "
+                        "node_exporter's textfile collector)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -592,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="add accsim profiling (iteration steps, bytes "
                         "moved, async-queue waits) to the trace")
     _add_journal_flags(p)
+    _add_live_flags(p)
 
     p = sub.add_parser("sweep", help="Fig. 8-style pass-rate sweep")
     p.add_argument("vendor", choices=list(VENDORS))
@@ -626,6 +774,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="add accsim profiling to the trace")
     _add_journal_flags(p)
+    _add_live_flags(p)
 
     p = sub.add_parser("journal", help="inspect a campaign journal")
     jsub = p.add_subparsers(dest="journal_command", required=True)
@@ -647,6 +796,30 @@ def build_parser() -> argparse.ArgumentParser:
     ph = tsub.add_parser("html", help="render the HTML trace dashboard")
     ph.add_argument("file")
     ph.add_argument("--output", help="write the page to a file")
+
+    p = sub.add_parser("obs", help="live-telemetry and perf-history tools")
+    osub = p.add_subparsers(dest="obs_command", required=True)
+    ot = osub.add_parser("tail",
+                         help="print or summarize a live NDJSON stream "
+                              "(tolerates the torn tail of a killed run)")
+    ot.add_argument("file")
+    ot.add_argument("--summarize", action="store_true",
+                    help="fold the stream into campaign totals instead of "
+                         "printing per-record lines")
+    ot.add_argument("--follow", action="store_true",
+                    help="poll the file and print records as they land; "
+                         "exits on the final snapshot or Ctrl-C")
+    ot.add_argument("--poll-s", type=_positive_float, default=0.2,
+                    metavar="SECONDS", dest="poll_s",
+                    help="--follow poll interval (default 0.2s)")
+    op = osub.add_parser("perf",
+                         help="render bench history (BENCH_history.jsonl "
+                              "and/or BENCH_*.json) as an HTML "
+                              "perf-trajectory page")
+    op.add_argument("inputs", nargs="+", metavar="FILE",
+                    help=".jsonl history files (one run per line) or "
+                         "single-run .json baselines, oldest first")
+    op.add_argument("--output", help="write the page to a file")
 
     return parser
 
@@ -684,6 +857,7 @@ _COMMANDS = {
     "titan": cmd_titan,
     "trace": cmd_trace,
     "journal": cmd_journal,
+    "obs": cmd_obs,
 }
 
 

@@ -72,19 +72,32 @@ class CompiledProgram:
         default=None, repr=False, compare=False
     )
 
-    def lowered(self):
+    def lowered(self, tracer=None, name: Optional[str] = None):
         """The closure-lowered form, computed once per compiled program.
 
         Benign data race under the thread policy: two threads may lower
         concurrently and one result wins; lowering is pure, so both are
         interchangeable.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`, optional) receives
+        ``lower.cache_hit``/``lower.cache_miss`` events and counters,
+        mirroring the compile cache's ``compile.cache_hit/miss``: a hit
+        means a previous phase/iteration (or a compile-cache hit carrying
+        the lowering along) already paid the lowering cost.
         """
+        observe = tracer is not None and tracer.enabled
         lowered = self._lowered
         if lowered is None:
+            if observe:
+                tracer.event("lower.cache_miss", template=name or "?")
+                tracer.metrics.counter("lower.cache_misses").inc()
             from repro.compiler.closures import lower_program
 
             lowered = lower_program(self.program)
             self._lowered = lowered
+        elif observe:
+            tracer.event("lower.cache_hit", template=name or "?")
+            tracer.metrics.counter("lower.cache_hits").inc()
         return lowered
 
     def __getstate__(self):
@@ -92,9 +105,10 @@ class CompiledProgram:
         state["_lowered"] = None  # closures don't pickle; re-lower on use
         return state
 
-    def runner(self, backend: str = "tree") -> "ProgramRunner":
+    def runner(self, backend: str = "tree", tracer=None,
+               name: Optional[str] = None) -> "ProgramRunner":
         """A per-phase batched executor (see :class:`ProgramRunner`)."""
-        return ProgramRunner(self, backend=backend)
+        return ProgramRunner(self, backend=backend, tracer=tracer, name=name)
 
     def run(
         self,
@@ -127,7 +141,8 @@ class ProgramRunner:
     reports stay byte-identical with the unbatched path.
     """
 
-    def __init__(self, compiled: CompiledProgram, backend: str = "tree"):
+    def __init__(self, compiled: CompiledProgram, backend: str = "tree",
+                 tracer=None, name: Optional[str] = None):
         from repro.accsim.device import ExecProfile
 
         self.compiled = compiled
@@ -140,7 +155,15 @@ class ProgramRunner:
             worker_ignored=behavior.worker_ignored,
             mapping=behavior.mapping_description,
         )
-        self._lowered = compiled.lowered() if backend == "closures" else None
+        #: whether the lowering was already attached to the compiled
+        #: program (None when the tree backend never looks); instrumentation
+        #: only — mirrors PhaseResult.cache_hit for the compile cache
+        self.lower_hit: Optional[bool] = None
+        if backend == "closures":
+            self.lower_hit = compiled._lowered is not None
+            self._lowered = compiled.lowered(tracer=tracer, name=name)
+        else:
+            self._lowered = None
 
     def run(
         self,

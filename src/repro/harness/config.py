@@ -70,6 +70,15 @@ class HarnessConfig:
     #: (repro.compiler.closures).  Purely an execution knob — both backends
     #: produce byte-identical reports for the same configuration
     backend: str = "tree"
+    #: live telemetry (repro.obs.live): append a repro.obs.live/v1 NDJSON
+    #: stream of unit events and campaign snapshots to this file.  Pure
+    #: observation — reports stay byte-identical with it on or off
+    live_stream: Optional[str] = None
+    #: live telemetry: repaint a TTY status line (stderr) on each snapshot
+    status: bool = False
+    #: live telemetry: atomically rewrite a Prometheus textfile-exporter
+    #: .prom file on each snapshot
+    prom: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -103,6 +112,15 @@ class HarnessConfig:
                 f"unknown backend {self.backend!r}; "
                 f"expected one of {', '.join(INTERPRETER_BACKENDS)}"
             )
+        for knob in ("live_stream", "prom"):
+            value = getattr(self, knob)
+            if value is not None and not str(value).strip():
+                raise ValueError(f"{knob} must be a non-empty path when set")
+
+    @property
+    def live_enabled(self) -> bool:
+        """True when any live-telemetry sink is configured."""
+        return bool(self.live_stream or self.status or self.prom)
 
     def iteration_seeds(self):
         return [self.rng_seed + k for k in range(self.iterations)]

@@ -193,6 +193,11 @@ def run_unit_resilient(runner: "ValidationRunner", template: "TestTemplate",
     """
     config = runner.config
     tracer = runner.tracer
+    # live telemetry (repro.obs.live): set by run_suite in the coordinating
+    # process for serial/thread runs; process-pool workers rebuild their
+    # runner without it (sinks live only in the parent), so their retries
+    # surface via the returned results, not live events
+    live = getattr(runner, "live", None)
     unit_key = f"{template.feature}:{template.language}"
     error: Optional[BaseException] = None
     for n in range(config.retries + 1):
@@ -208,6 +213,9 @@ def run_unit_resilient(runner: "ValidationRunner", template: "TestTemplate",
                 tracer.event("engine.retry", template=unit_key,
                              attempt=attempt, error=repr(err))
                 tracer.metrics.counter("engine.retry").inc()
+            if live is not None:
+                live.event("engine.retry", template=unit_key,
+                           attempt=attempt)
             backoff = config.retry_backoff_s * (2 ** n)
             if backoff > 0:
                 runner.sleeper(backoff)
@@ -215,6 +223,8 @@ def run_unit_resilient(runner: "ValidationRunner", template: "TestTemplate",
         tracer.event("engine.harness_error", template=unit_key,
                      error=repr(error))
         tracer.metrics.counter("engine.harness_error").inc()
+    if live is not None:
+        live.event("engine.harness_error", template=unit_key)
     return harness_error_result(template, error)
 
 
@@ -409,6 +419,11 @@ class ProcessEngine:
                                  lost_units=len(pending),
                                  pool_deaths=pool_deaths)
                     tracer.metrics.counter("engine.worker_lost").inc()
+                live = getattr(runner, "live", None)
+                if live is not None:
+                    live.event("engine.worker_lost",
+                               lost_units=len(pending),
+                               pool_deaths=pool_deaths)
                 pending = {i: attempt + 1 for i, attempt in pending.items()}
         if pending and tracer.enabled:
             tracer.event("engine.serial_fallback", units=len(pending),

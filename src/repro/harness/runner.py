@@ -110,6 +110,9 @@ class PhaseResult:
     compile_s: float = 0.0
     run_s: float = 0.0
     cache_hit: bool = False
+    #: lowering-cache outcome for the closures backend (None under the tree
+    #: backend, which never lowers) — instrumentation like cache_hit
+    lower_hit: Optional[bool] = None
 
     @property
     def incorrect_runs(self) -> int:
@@ -257,6 +260,7 @@ class ValidationRunner:
         config: Optional[HarnessConfig] = None,
         cache: Optional[CompileCache] = None,
         tracer=None,
+        live=None,
     ):
         self.compiler = Compiler(behavior) if behavior is not None else Compiler()
         self.config = config or HarnessConfig()
@@ -265,6 +269,12 @@ class ValidationRunner:
         self.cache = cache
         #: a repro.obs.Tracer; the default NULL_TRACER records nothing
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: a repro.obs.live.LiveTelemetry pipeline, or None.  Deliberately
+        #: NOT auto-built here from the config's live knobs: process-pool
+        #: workers rebuild a runner from the same config, and sinks (stream
+        #: files, .prom writers) must only ever be opened by the
+        #: coordinating process — run_suite builds them when needed
+        self.live = live
         #: the retry layer's backoff sleep — injectable so tests are instant
         self.sleeper = time.sleep
         #: fault injector built from the config's plan (NULL_INJECTOR = off)
@@ -358,13 +368,29 @@ class ValidationRunner:
         )
         tracer = self.tracer
 
+        # -- live telemetry: build the sink pipeline the config asks for.
+        # Only here, never in __init__ — process-pool workers construct a
+        # runner from this same config, and only the coordinating process
+        # may open the stream/prom sinks.
+        live = self.live
+        owns_live = False
+        if live is None and config.live_enabled:
+            from repro.obs.live import LiveTelemetry
+
+            live = LiveTelemetry.from_config(config)
+            owns_live = live is not None
+
         # -- journal replay: partition into replayed and still-pending units
         replayed: Dict[int, TestResult] = {}
         on_complete = None
-        if journal is not None:
-            from repro.journal import decode_result, encode_result, unit_keys
+        keys: Optional[List[str]] = None
+        if journal is not None or live is not None:
+            from repro.journal import unit_keys
 
             keys = unit_keys(templates)
+        if journal is not None:
+            from repro.journal import decode_result, encode_result
+
             for i, (template, key) in enumerate(zip(templates, keys)):
                 payload = journal.get(key)
                 if payload is not None:
@@ -375,18 +401,63 @@ class ValidationRunner:
             pending_keys = [keys[i] for i in range(len(templates))
                             if i not in replayed]
 
-            def on_complete(index, template, result):
+            def journal_complete(index, template, result):
                 journal.append(pending_keys[index], encode_result(result))
+
+            on_complete = journal_complete
+
+        if live is not None:
+            if live.began:
+                live.extend_total(len(templates))
+            else:
+                live.begin(
+                    total_units=len(templates), replayed=len(replayed),
+                    compiler=self.behavior.label,
+                    policy=config.policy, workers=config.workers,
+                    backend=config.backend,
+                )
+            # replayed units count toward progress immediately, marked so
+            for i in sorted(replayed):
+                live.unit(i, keys[i], replayed[i],
+                          backend=config.backend, replayed=True)
+            pending_indices = [i for i in range(len(templates))
+                               if i not in replayed]
+            journal_cb = on_complete
+
+            def live_complete(index, template, result):
+                if journal_cb is not None:
+                    # journal first: durability before observation, so a
+                    # torn journal append never loses the fsync'd record
+                    journal_cb(index, template, result)
+                i = pending_indices[index]
+                live.unit(i, keys[i], result,
+                          backend=config.backend, replayed=False)
+
+            on_complete = live_complete
 
         pending = [templates[i] for i in range(len(templates))
                    if i not in replayed]
-        with tracer.span(
-            "run", key=self.behavior.label,
-            policy=engine.policy, workers=engine.workers,
-        ) as root:
-            start = time.perf_counter()
-            outcomes = engine.run(pending, self, on_complete=on_complete)
-            report.elapsed_s = time.perf_counter() - start
+        # expose the live pipeline to the retry layer for the duration of
+        # the run (engine.retry / engine.worker_lost events)
+        self.live = live
+        try:
+            with tracer.span(
+                "run", key=self.behavior.label,
+                policy=engine.policy, workers=engine.workers,
+            ) as root:
+                start = time.perf_counter()
+                outcomes = engine.run(pending, self, on_complete=on_complete)
+                report.elapsed_s = time.perf_counter() - start
+        except BaseException:
+            # interrupted (drain, injected tear, Ctrl-C): finalize the
+            # sinks with a non-report final snapshot so the stream is
+            # readable and the .prom file reflects the last known state
+            if owns_live and live is not None:
+                live.end(None)
+            raise
+        finally:
+            if owns_live:
+                self.live = None
         # spans recorded off the main thread (thread pools) or adopted from
         # worker processes have no parent: stitch them under this run's root
         tracer.reparent_orphans(root)
@@ -405,6 +476,12 @@ class ValidationRunner:
         report.metrics = build_metrics(
             report, engine.policy, engine.workers, outcomes
         )
+        if owns_live and live is not None:
+            # the final snapshot embeds the authoritative RunMetrics block:
+            # integer tallies folded from the stream reconcile exactly, and
+            # readers take the float timings from here (float summation
+            # order varies across completion orders)
+            live.end(report)
         if tracer.enabled:
             root.set(templates=len(report.results),
                      pass_rate=report.pass_rate())
@@ -505,7 +582,12 @@ class ValidationRunner:
             # batch per-iteration setup: the runner shares the lowered
             # program and machine profile across the phase's M iterations
             # (each iteration still executes on a fresh machine)
-            runner = compiled.runner(backend=self.config.backend)
+            runner = compiled.runner(
+                backend=self.config.backend,
+                tracer=tracer if tracer.enabled else None,
+                name=template.name,
+            )
+            phase.lower_hit = runner.lower_hit
             with tracer.span("execute", key=pkey) as execute_span:
                 for k, seed in enumerate(self.config.iteration_seeds()):
                     self.faults.iteration_site(f"{pkey}:{k}")

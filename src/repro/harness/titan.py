@@ -187,11 +187,25 @@ class TitanHarness:
         tracer=None,
         recheck: int = 1,
         journal=None,
+        live=None,
     ):
         self.cluster = cluster
         self.suite = suite
         # production sweeps favour quick turnaround: 1 iteration, no cross
         self.config = config or HarnessConfig(iterations=1, run_cross=False)
+        #: a repro.obs.live.LiveTelemetry pipeline publishing one unit per
+        #: node/stack check.  Built from the config's live knobs when not
+        #: injected — and the knobs are then *stripped* from the config
+        #: handed to the inner per-check ValidationRunners, so each inner
+        #: run_suite does not open its own competing sinks
+        if live is None and self.config.live_enabled:
+            from repro.obs.live import LiveTelemetry
+
+            live = LiveTelemetry.from_config(self.config)
+        if self.config.live_enabled:
+            self.config = replace(self.config, live_stream=None,
+                                  status=False, prom=None)
+        self.live = live
         if feature_prefixes is not None:
             self.config.feature_prefixes = feature_prefixes
         #: a repro.obs.Tracer shared by every node check of this harness
@@ -230,6 +244,12 @@ class TitanHarness:
             self._template_map = template_map(self.suite, self.config)
         return self._template_map
 
+    def finish(self) -> None:
+        """Finalize the live-telemetry pipeline (final snapshot + sink
+        close).  Idempotent; a no-op when no live sinks are configured."""
+        if self.live is not None:
+            self.live.end(None)
+
     def check_node(self, node: Node, stack: str,
                    config: Optional[HarnessConfig] = None,
                    unit: Optional[str] = None) -> StackCheck:
@@ -248,8 +268,12 @@ class TitanHarness:
 
                 if self.tracer.enabled:
                     self.tracer.metrics.counter("journal.replayed").inc()
-                return decode_check(payload, self._templates_by_key(),
-                                    config or self.config)
+                check = decode_check(payload, self._templates_by_key(),
+                                     config or self.config)
+                if self.live is not None:
+                    # replayed checks count toward progress, marked so
+                    self.live.check(unit, check, replayed=True)
+                return check
         runner = ValidationRunner(node.stacks[stack],
                                   config or self.config,
                                   tracer=self.tracer)
@@ -262,6 +286,8 @@ class TitanHarness:
             from repro.journal import encode_check
 
             self.journal.append(unit, encode_check(check))
+        if self.live is not None:
+            self.live.check(unit, check)
         if self.tracer.enabled:
             self.tracer.metrics.counter("titan.checks").inc()
             if check.flagged:
@@ -284,6 +310,13 @@ class TitanHarness:
         eligible = [n for n in self.cluster.nodes
                     if n.node_id not in self.quarantined]
         sample = rng.sample(eligible, min(sample_size, len(eligible)))
+        if self.live is not None:
+            if not self.live.began:
+                self.live.begin(total_units=0, command="titan",
+                                nodes=len(self.cluster.nodes))
+            # a sweep's unit total is known the moment the sample is drawn;
+            # triage re-checks and recovery probes extend it as they happen
+            self.live.extend_total(len(sample) * len(stacks))
         checks: List[StackCheck] = []
         with self.tracer.span("titan.sweep", key=f"seed={seed}",
                               sample=len(sample)) as span:
@@ -334,6 +367,8 @@ class TitanHarness:
                 _check_drain()
                 if self.tracer.enabled:
                     self.tracer.metrics.counter("titan.rechecks").inc()
+                if self.live is not None:
+                    self.live.extend_total(1)
                 again = self.check_node(
                     node, check.stack,
                     config=self._recheck_config(r + 1),
@@ -356,6 +391,9 @@ class TitanHarness:
                         harness_errors=check.harness_errors,
                     )
                     self.tracer.metrics.counter("titan.quarantined").inc()
+                if self.live is not None:
+                    self.live.event("titan.quarantined", node=check.node_id,
+                                    stack=check.stack)
             elif self.tracer.enabled:
                 self.tracer.event("titan.flag_transient", node=check.node_id,
                                   stack=check.stack)
@@ -370,6 +408,8 @@ class TitanHarness:
         for node_id, record in sorted(self.quarantined.items()):
             _check_drain()
             record.probes += 1
+            if self.live is not None:
+                self.live.extend_total(1)
             check = self.check_node(
                 nodes_by_id[node_id], record.stack,
                 config=self._recheck_config(self.recheck + 1 + epoch),
@@ -384,6 +424,9 @@ class TitanHarness:
                                       stack=record.stack,
                                       probes=record.probes)
                     self.tracer.metrics.counter("titan.recovered").inc()
+                if self.live is not None:
+                    self.live.event("titan.recovered", node=node_id,
+                                    stack=record.stack)
         for node_id in recovered:
             del self.quarantined[node_id]
         return recovered

@@ -35,9 +35,11 @@ from repro.journal.wal import JOURNAL_FORMAT, JournalMismatchError
 
 #: config fields that can never change results (engine determinism
 #: guarantee — ``backend`` is covered by the cross-backend equivalence
-#: gate in tests) and therefore stay out of the campaign key
+#: gate in tests; the live-telemetry knobs only *observe* a run) and
+#: therefore stay out of the campaign key
 _EXECUTION_ONLY_CONFIG = {"policy", "workers", "compile_cache",
-                          "retry_backoff_s", "backend"}
+                          "retry_backoff_s", "backend",
+                          "live_stream", "status", "prom"}
 
 
 def canonicalize(obj):
@@ -155,6 +157,7 @@ def _encode_phase(phase: PhaseResult) -> dict:
         "compile_s": phase.compile_s,
         "run_s": phase.run_s,
         "cache_hit": phase.cache_hit,
+        "lower_hit": phase.lower_hit,
         "iterations": [_encode_iteration(it) for it in phase.iterations],
     }
 
@@ -169,6 +172,8 @@ def _decode_phase(data: dict) -> PhaseResult:
         compile_s=float(data.get("compile_s", 0.0)),
         run_s=float(data.get("run_s", 0.0)),
         cache_hit=bool(data.get("cache_hit", False)),
+        lower_hit=(bool(data["lower_hit"])
+                   if data.get("lower_hit") is not None else None),
         iterations=[_decode_iteration(it)
                     for it in data.get("iterations", [])],
     )

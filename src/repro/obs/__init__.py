@@ -9,10 +9,16 @@ happened *inside* a run.  This package supplies that layer:
 * :mod:`~repro.obs.metrics` — counter/gauge/histogram primitives;
 * :mod:`~repro.obs.sink` — JSONL serialization and the trace reader;
 * :mod:`~repro.obs.summary` — ``repro trace summarize`` aggregation;
-* :mod:`~repro.obs.dashboard` — standalone HTML trace/metrics dashboard.
+* :mod:`~repro.obs.dashboard` — standalone HTML trace/metrics and
+  perf-trajectory dashboards;
+* :mod:`~repro.obs.live` — live campaign telemetry: bounded in-process
+  event bus, progress snapshots, NDJSON stream / TTY status / Prometheus
+  textfile sinks, and the ``repro obs tail`` reader.
 
 Tracing is opt-in: everything runs against :data:`NULL_TRACER` unless a
-real :class:`Tracer` is injected (CLI ``--trace``/``--profile``).
+real :class:`Tracer` is injected (CLI ``--trace``/``--profile``).  Live
+telemetry is likewise opt-in (CLI ``--live-stream``/``--status``/``--prom``)
+and observational only: reports are byte-identical with it on or off.
 """
 
 from repro.obs.metrics import (
@@ -38,12 +44,33 @@ from repro.obs.sink import (
     write_trace,
 )
 from repro.obs.summary import TraceSummary, render_summary_text, summarize_trace
-from repro.obs.dashboard import render_trace_html
+from repro.obs.dashboard import render_perf_html, render_trace_html
+from repro.obs.live import (
+    LIVE_FORMAT,
+    LiveStream,
+    LiveTelemetry,
+    NDJSONStreamSink,
+    PrometheusSink,
+    ProgressTally,
+    SnapshotReporter,
+    StatusLineSink,
+    TelemetryBus,
+    lint_prometheus,
+    parse_live,
+    read_live,
+    render_prometheus,
+    render_status_line,
+    render_tally_text,
+)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS",
     "Event", "NULL_TRACER", "NullTracer", "Span", "TRACE_FORMAT", "Tracer",
     "TraceData", "parse_trace", "read_trace", "trace_to_jsonl", "write_trace",
     "TraceSummary", "render_summary_text", "summarize_trace",
-    "render_trace_html",
+    "render_trace_html", "render_perf_html",
+    "LIVE_FORMAT", "LiveStream", "LiveTelemetry", "NDJSONStreamSink",
+    "PrometheusSink", "ProgressTally", "SnapshotReporter", "StatusLineSink",
+    "TelemetryBus", "lint_prometheus", "parse_live", "read_live",
+    "render_prometheus", "render_status_line", "render_tally_text",
 ]

@@ -18,6 +18,10 @@ from repro.obs.sink import TraceData
 #: cache events recognised in the timeline
 _CACHE_EVENTS = {"compile.cache_hit": "hit", "compile.cache_miss": "miss"}
 
+#: lowering-cache events (closures backend); not part of the compile
+#: timeline — lowering happens once per CompiledProgram, post-compile
+_LOWER_EVENTS = {"lower.cache_hit": "hit", "lower.cache_miss": "miss"}
+
 
 @dataclass
 class TraceSummary:
@@ -31,6 +35,10 @@ class TraceSummary:
     execute_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: lowering-cache counters (``lower.cache_hits``/``lower.cache_misses``;
+    #: populated only by closures-backend runs)
+    lower_hits: int = 0
+    lower_misses: int = 0
     #: span name -> (count, summed duration)
     phase_totals: Dict[str, Tuple[int, float]] = field(default_factory=dict)
     #: slowest template spans: (key, duration, passed) best-first
@@ -46,6 +54,11 @@ class TraceSummary:
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def lower_hit_rate(self) -> float:
+        total = self.lower_hits + self.lower_misses
+        return self.lower_hits / total if total else 0.0
 
 
 def summarize_trace(trace: TraceData, top: int = 10) -> TraceSummary:
@@ -72,6 +85,8 @@ def summarize_trace(trace: TraceData, top: int = 10) -> TraceSummary:
 
     summary.cache_hits = trace.counters.get("compile.cache_hits", 0)
     summary.cache_misses = trace.counters.get("compile.cache_misses", 0)
+    summary.lower_hits = trace.counters.get("lower.cache_hits", 0)
+    summary.lower_misses = trace.counters.get("lower.cache_misses", 0)
     for event in trace.events:
         summary.event_counts[event.name] = \
             summary.event_counts.get(event.name, 0) + 1
@@ -98,6 +113,12 @@ def render_summary_text(summary: TraceSummary,
         f"  compile cache      : {summary.cache_hits} hits / "
         f"{summary.cache_misses} misses ({summary.cache_hit_rate:.1%} hit rate)"
     )
+    if summary.lower_hits or summary.lower_misses:
+        lines.append(
+            f"  lowering cache     : {summary.lower_hits} hits / "
+            f"{summary.lower_misses} misses "
+            f"({summary.lower_hit_rate:.1%} hit rate)"
+        )
     if summary.failure_kinds:
         lines.append("  failed iterations  : " + ", ".join(
             f"{kind}={count}"

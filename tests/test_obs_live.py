@@ -1,0 +1,707 @@
+"""Tests for live campaign telemetry (repro.obs.live).
+
+Covers the PR's acceptance criteria:
+
+* the bounded bus: sequence stamping, eviction + dropped accounting,
+  sink fan-out;
+* ``unit_fields``/``ProgressTally`` mirror the ``build_metrics`` skip
+  rule, so a tally folded from the stream reconciles *exactly* with the
+  report's :class:`~repro.harness.engine.RunMetrics` integers;
+* snapshots are monotone (units_done, wall clock) under an injected
+  clock and in real streams;
+* reports are byte-identical with telemetry on or off, across all three
+  execution policies and both interpreter backends;
+* journal resume: replayed units count toward progress and are marked
+  ``replayed``; the resumed report matches an uninterrupted run;
+* the tolerant reader: a torn tail is skipped and counted, a wrong
+  format tag raises either way; ``repro obs tail`` survives both;
+* Prometheus rendering passes its own linter, and the linter catches
+  broken exposition text;
+* the CLI surface: ``validate --live-stream/--status/--prom``,
+  ``repro obs tail``/``repro obs perf``, and ``benchmarks.record``'s
+  perf-history appending.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.compiler.vendors import vendor_version
+from repro.faults import FaultPlan, InjectedJournalTear
+from repro.harness import (
+    HarnessConfig,
+    ValidationRunner,
+    render_csv,
+    render_text,
+)
+from repro.harness.runner import IterationOutcome, PhaseResult
+from repro.harness.runner import TestResult as _TestResult
+from repro.obs import Tracer
+from repro.obs.live import (
+    LIVE_FORMAT,
+    LiveTelemetry,
+    NDJSONStreamSink,
+    ProgressTally,
+    SnapshotReporter,
+    StatusLineSink,
+    TelemetryBus,
+    lint_prometheus,
+    parse_live,
+    read_live,
+    render_prometheus,
+    render_status_line,
+    render_tally_text,
+    unit_fields,
+)
+
+_PGI = vendor_version("pgi", "13.2").behavior("c")
+
+
+def _quick_config(**kw) -> HarnessConfig:
+    base = dict(iterations=1, run_cross=False, languages=("c",),
+                feature_prefixes=["parallel"])
+    base.update(kw)
+    return HarnessConfig(**base)
+
+
+# ---------------------------------------------------------------------------
+# the bus
+# ---------------------------------------------------------------------------
+
+
+def test_bus_stamps_sequence_and_bounds_memory():
+    bus = TelemetryBus(capacity=4)
+    for i in range(10):
+        bus.publish("tick", i=i)
+    records = bus.records()
+    assert len(records) == 4
+    assert bus.dropped == 6
+    # sequence numbers keep counting across evictions
+    assert [r["seq"] for r in records] == [6, 7, 8, 9]
+    assert records[-1]["fields"] == {"i": 9}
+
+
+def test_bus_fans_out_to_sinks():
+    bus = TelemetryBus()
+    seen = []
+
+    class Sink:
+        def emit(self, record):
+            seen.append(record)
+
+    bus.subscribe(Sink())
+    bus.publish("a", x=1)
+    bus.publish("b")
+    assert [r["kind"] for r in seen] == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# unit fields mirror the build_metrics skip rule
+# ---------------------------------------------------------------------------
+
+
+def _result(template, functional, cross=None, elapsed=0.5):
+    return _TestResult(template=template, functional=functional,
+                       cross=cross, elapsed_s=elapsed)
+
+
+def test_unit_fields_skip_harness_error_phases(suite10):
+    template = suite10.get("parallel", "c")
+    broken = PhaseResult(mode="functional", source="",
+                         harness_error="worker died",
+                         iterations=[IterationOutcome(ok=True, value=0)],
+                         compile_s=9.0, run_s=9.0, cache_hit=True)
+    ok = PhaseResult(mode="cross", source="", cache_hit=True,
+                     iterations=[IterationOutcome(ok=True, value=0)],
+                     compile_s=0.1, run_s=0.2)
+    fields = unit_fields(0, "parallel:c", _result(template, broken, ok))
+    # the harness-errored phase contributes nothing to the totals...
+    assert fields["iterations"] == 1
+    assert fields["compile_cache_hits"] == 1
+    assert fields["compile_cache_misses"] == 0
+    assert fields["compile_s"] == pytest.approx(0.1)
+    assert fields["run_s"] == pytest.approx(0.2)
+    # ...but is still visible in the per-phase verdicts
+    assert fields["phases"]["functional"]["harness_error"] is True
+    assert fields["phases"]["cross"]["ok"] is True
+    assert fields["passed"] is False
+    assert fields["failure_kind"] == "harness_error"
+
+
+def test_unit_fields_lowering_cache(suite10):
+    template = suite10.get("parallel", "c")
+    hit = PhaseResult(mode="functional", source="", lower_hit=True,
+                      iterations=[IterationOutcome(ok=True, value=0)])
+    fields = unit_fields(0, "u", _result(template, hit))
+    assert fields["lower_cache_hits"] == 1
+    assert fields["lower_cache_misses"] == 0
+    # tree backend: lower_hit is None -> neither counter moves
+    tree = PhaseResult(mode="functional", source="",
+                       iterations=[IterationOutcome(ok=True, value=0)])
+    fields = unit_fields(0, "u", _result(template, tree))
+    assert fields["lower_cache_hits"] == 0
+    assert fields["lower_cache_misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# tally + snapshots
+# ---------------------------------------------------------------------------
+
+
+def _unit_event(**fields):
+    base = {"unit": "u", "index": 0, "replayed": False, "backend": "tree",
+            "passed": True, "failure_kind": None, "elapsed_s": 0.25,
+            "iterations": 2, "compile_cache_hits": 1,
+            "compile_cache_misses": 0, "lower_cache_hits": 0,
+            "lower_cache_misses": 0, "compile_s": 0.1, "run_s": 0.1,
+            "phases": {"functional": {"ok": True, "harness_error": False,
+                                      "static_error": False}}}
+    base.update(fields)
+    return {"type": "event", "kind": "unit.finished", "fields": base}
+
+
+def test_tally_folds_campaign_events():
+    tally = ProgressTally()
+    tally.fold({"type": "event", "kind": "campaign.start",
+                "fields": {"total_units": 3}})
+    tally.fold({"type": "event", "kind": "campaign.extend",
+                "fields": {"units": 2}})
+    tally.fold(_unit_event(replayed=True))
+    tally.fold(_unit_event(passed=False, failure_kind="wrong_value",
+                           phases={"functional": {
+                               "ok": False, "harness_error": False,
+                               "static_error": False}}))
+    tally.fold({"type": "event", "kind": "engine.retry", "fields": {}})
+    tally.fold({"type": "event", "kind": "titan.quarantined", "fields": {}})
+    # snapshots are ignored by the fold (they are derived, not source)
+    tally.fold({"type": "snapshot", "units_done": 99})
+    assert tally.total_units == 5
+    assert tally.units_done == 2
+    assert tally.replayed == 1
+    assert tally.passed == 1 and tally.failed == 1
+    assert tally.failure_kinds == {"wrong_value": 1}
+    assert tally.retries == 1 and tally.quarantined == 1
+    assert tally.phase_counts["functional"] == {
+        "pass": 1, "fail": 1, "harness_error": 0, "static_error": 0}
+    assert tally.backend_timing["tree"][0] == 2
+
+
+def test_snapshots_are_monotone_under_injected_clock():
+    now = [100.0]
+    reporter = SnapshotReporter(every_units=1, min_interval_s=1.0,
+                                clock=lambda: now[0])
+    reporter.begin()
+    snaps = []
+    for i in range(6):
+        reporter.tally.fold({"type": "event", "kind": "campaign.start",
+                             "fields": {"total_units": 6}})
+        reporter.tally.fold(_unit_event(index=i))
+        # only every other fold advances past the interval throttle
+        if i % 2:
+            now[0] += 1.5
+        if reporter.due():
+            snaps.append(reporter.snapshot())
+    snaps.append(reporter.snapshot(final=True))
+    assert snaps[-1]["final"] is True
+    done = [s["units_done"] for s in snaps]
+    walls = [s["wall_s"] for s in snaps]
+    assert done == sorted(done)
+    assert walls == sorted(walls)
+    assert all(0.0 <= s["progress"] <= 1.0 for s in snaps)
+    # the interval throttle actually suppressed some snapshots
+    assert len(snaps) < 7
+
+
+def test_snapshot_units_per_sec_counts_fresh_units_only():
+    now = [0.0]
+    reporter = SnapshotReporter(clock=lambda: now[0])
+    reporter.begin()
+    reporter.tally.fold({"type": "event", "kind": "campaign.start",
+                         "fields": {"total_units": 4}})
+    reporter.tally.fold(_unit_event(replayed=True))
+    reporter.tally.fold(_unit_event())
+    now[0] = 2.0
+    snap = reporter.snapshot()
+    # 1 fresh unit in 2s; the replayed unit cost no wall time
+    assert snap["units_per_sec"] == pytest.approx(0.5)
+    assert snap["units_done"] == 2 and snap["replayed"] == 1
+    assert snap["eta_s"] == pytest.approx(4.0)
+
+
+# ---------------------------------------------------------------------------
+# byte-identical reports, on or off
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy,workers", [
+    ("serial", 1), ("thread", 2), ("process", 2),
+])
+@pytest.mark.parametrize("backend", ["tree", "closures"])
+def test_reports_identical_with_and_without_telemetry(
+        tmp_path, suite10, policy, workers, backend):
+    plain = ValidationRunner(_PGI, _quick_config(
+        policy=policy, workers=workers, backend=backend))
+    baseline = plain.run_suite(suite10)
+
+    stream = tmp_path / "run.ndjson"
+    prom = tmp_path / "run.prom"
+    live = ValidationRunner(_PGI, _quick_config(
+        policy=policy, workers=workers, backend=backend,
+        live_stream=str(stream), prom=str(prom)))
+    observed = live.run_suite(suite10)
+
+    assert render_csv(observed) == render_csv(baseline)
+    assert render_text(observed) == render_text(baseline)
+
+    parsed = read_live(str(stream))
+    assert parsed.meta["format"] == LIVE_FORMAT
+    assert parsed.meta["policy"] == policy
+    final = parsed.final_snapshot
+    assert final is not None
+    assert final["units_done"] == final["total_units"] == \
+        len(baseline.results)
+    assert lint_prometheus(prom.read_text()) == []
+
+
+def test_stream_reconciles_exactly_with_run_metrics(tmp_path, suite10):
+    stream = tmp_path / "run.ndjson"
+    runner = ValidationRunner(_PGI, HarnessConfig(
+        iterations=2, languages=("c",), feature_prefixes=["parallel", "loop"],
+        live_stream=str(stream)))
+    report = runner.run_suite(suite10)
+    metrics = report.metrics
+
+    parsed = read_live(str(stream))
+    tally = parsed.tally()
+    # integer totals folded from per-unit events match the report exactly
+    assert tally.units_done == metrics.templates == len(report.results)
+    assert tally.iterations_run == metrics.iterations_run
+    assert tally.compile_cache_hits == metrics.cache_hits
+    assert tally.compile_cache_misses == metrics.cache_misses
+    assert tally.failure_kinds == metrics.failure_kinds
+    assert tally.failed == len(report.failures())
+    assert tally.passed == len(report.results) - tally.failed
+    # floats come from the authoritative run_metrics block of the final
+    # snapshot (summation order differs across policies)
+    final = parsed.final_snapshot
+    assert final["run_metrics"]["wall_s"] == metrics.wall_s
+    assert final["run_metrics"]["compile_s"] == metrics.compile_s
+    assert final["run_metrics"]["iterations_run"] == metrics.iterations_run
+    # the in-stream snapshots agree with the report too
+    assert final["passed"] == tally.passed
+    assert final["iterations_run"] == metrics.iterations_run
+    # monotone in the real stream as well
+    done = [s["units_done"] for s in parsed.snapshots()]
+    assert done == sorted(done)
+
+
+def test_live_telemetry_survives_engine_exception(tmp_path, suite10):
+    stream = tmp_path / "run.ndjson"
+    config = _quick_config(
+        live_stream=str(stream),
+        fault_plan=FaultPlan.parse("stall=1.0,seed=1"),
+        template_timeout_s=0.0001,
+    )
+    # a 100% stall plan with a tiny budget: every unit times out but the
+    # run completes; the point is the sink is closed with a final snapshot
+    runner = ValidationRunner(_PGI, config)
+    report = runner.run_suite(suite10)
+    parsed = read_live(str(stream))
+    assert parsed.final_snapshot is not None
+    assert parsed.final_snapshot["units_done"] == len(report.results)
+
+
+# ---------------------------------------------------------------------------
+# journal resume: replayed units count toward progress
+# ---------------------------------------------------------------------------
+
+
+def test_resume_marks_replayed_units(tmp_path, suite10):
+    from repro.journal import JournalWriter, validate_campaign_key
+
+    plan = FaultPlan.parse("journal=0.3,seed=7,max-fires=1")
+    config = _quick_config(fault_plan=plan)
+    campaign = validate_campaign_key("1.0", _PGI, config)
+
+    journal_path = tmp_path / "c.journal"
+    torn_runner = ValidationRunner(_PGI, config)
+    journal = JournalWriter.create(str(journal_path), campaign,
+                                   faults=torn_runner.faults)
+    with pytest.raises(InjectedJournalTear):
+        torn_runner.run_suite(suite10, journal=journal)
+    journal.close()
+    assert journal.records, "the tear should land after >= 1 append"
+
+    stream = tmp_path / "resume.ndjson"
+    resumed_config = _quick_config(fault_plan=plan,
+                                   live_stream=str(stream))
+    resumed_runner = ValidationRunner(_PGI, resumed_config)
+    journal = JournalWriter.resume(str(journal_path), campaign,
+                                   faults=resumed_runner.faults)
+    report = resumed_runner.run_suite(suite10, journal=journal)
+    journal.close()
+
+    baseline = ValidationRunner(_PGI, _quick_config()).run_suite(suite10)
+    assert render_csv(report) == render_csv(baseline)
+
+    parsed = read_live(str(stream))
+    tally = parsed.tally()
+    assert tally.replayed >= 1
+    assert tally.units_done == len(report.results)
+    replayed_events = [r for r in parsed.events("unit.finished")
+                       if r["fields"]["replayed"]]
+    assert len(replayed_events) == tally.replayed
+    final = parsed.final_snapshot
+    assert final["replayed"] == tally.replayed
+    assert final["progress"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# the tolerant reader
+# ---------------------------------------------------------------------------
+
+
+def _write_stream(path, torn=False):
+    telemetry = LiveTelemetry([NDJSONStreamSink(str(path))])
+    telemetry.begin(total_units=2, command="test")
+    telemetry.event("unit.finished", **_unit_event()["fields"])
+    telemetry.end()
+    if torn:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "event", "kind": "unit.fin')  # killed mid-write
+
+
+def test_parse_live_strict_vs_tolerant(tmp_path):
+    path = tmp_path / "t.ndjson"
+    _write_stream(path, torn=True)
+    with pytest.raises(ValueError, match="invalid JSON"):
+        read_live(str(path))
+    stream = read_live(str(path), strict=False)
+    assert stream.malformed == 1
+    assert stream.final_snapshot is not None
+    assert stream.tally().units_done == 1
+
+
+def test_parse_live_rejects_wrong_format_even_tolerant():
+    text = json.dumps({"type": "meta", "format": "something/else"})
+    with pytest.raises(ValueError, match="unsupported format"):
+        parse_live(text, strict=False)
+
+
+def test_render_tally_text_reconciles(tmp_path):
+    path = tmp_path / "t.ndjson"
+    _write_stream(path)
+    stream = read_live(str(path))
+    text = render_tally_text(stream.tally(), final=stream.final_snapshot)
+    assert "units done         : 1/2" in text
+    assert "compile cache      : 1 hits / 0 misses" in text
+
+
+# ---------------------------------------------------------------------------
+# status line + prometheus
+# ---------------------------------------------------------------------------
+
+
+def test_status_line_sink_repaints_and_finishes_clean():
+    out = io.StringIO()
+    sink = StatusLineSink(out)
+    reporter = SnapshotReporter(clock=lambda: 0.0)
+    reporter.begin()
+    reporter.tally.fold({"type": "event", "kind": "campaign.start",
+                         "fields": {"total_units": 2}})
+    reporter.tally.fold(_unit_event())
+    sink.emit({"type": "event", "kind": "noise"})  # events don't repaint
+    sink.emit(reporter.snapshot())
+    sink.close(reporter.snapshot(final=True))
+    text = out.getvalue()
+    assert text.startswith("\r")
+    assert text.endswith("\n")
+    assert "1/2" in text
+
+
+def test_render_status_line_contents():
+    line = render_status_line({
+        "units_done": 3, "total_units": 10, "progress": 0.3,
+        "passed": 2, "failed": 1, "units_per_sec": 1.5, "eta_s": 4.7,
+        "compile_cache": {"hit_rate": 0.5},
+    })
+    assert "3/10" in line
+    assert "pass 2" in line and "fail 1" in line
+    assert "eta" in line
+
+
+def test_prometheus_render_passes_own_linter():
+    reporter = SnapshotReporter(clock=lambda: 0.0)
+    reporter.begin()
+    reporter.tally.fold({"type": "event", "kind": "campaign.start",
+                         "fields": {"total_units": 2}})
+    reporter.tally.fold(_unit_event(passed=False,
+                                    failure_kind="wrong_value"))
+    reporter.tally.fold(_unit_event(backend="closures",
+                                    lower_cache_hits=1))
+    text = render_prometheus(reporter.snapshot(final=True))
+    assert lint_prometheus(text) == []
+    assert "repro_campaign_units_done_total 2" in text
+    assert 'failure_kinds{kind="wrong_value"}' not in text  # spec'd name
+    assert 'repro_campaign_failures_total{kind="wrong_value"} 1' in text
+
+
+def test_prometheus_linter_catches_breakage():
+    assert lint_prometheus("repro_x 1\n") != []  # sample without HELP/TYPE
+    dup = ("# HELP repro_x h\n# TYPE repro_x gauge\n"
+           "repro_x 1\nrepro_x 2\n")
+    assert any("duplicate" in p for p in lint_prometheus(dup))
+    bad = "# HELP repro_y h\n# TYPE repro_y gauge\nrepro_y oops\n"
+    assert any("number" in p for p in lint_prometheus(bad))
+
+
+# ---------------------------------------------------------------------------
+# config plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_from_config_returns_none_without_sinks():
+    assert LiveTelemetry.from_config(HarnessConfig()) is None
+
+
+def test_config_rejects_empty_sink_paths():
+    with pytest.raises(ValueError):
+        HarnessConfig(live_stream="")
+    with pytest.raises(ValueError):
+        HarnessConfig(prom="   ")
+
+
+def test_live_knobs_do_not_change_campaign_identity(tmp_path):
+    from repro.journal import validate_campaign_key
+
+    quiet = validate_campaign_key("1.0", _PGI, _quick_config())
+    loud = validate_campaign_key("1.0", _PGI, _quick_config(
+        live_stream=str(tmp_path / "s.ndjson"), status=True,
+        prom=str(tmp_path / "s.prom")))
+    assert quiet == loud
+
+
+# ---------------------------------------------------------------------------
+# lowering-cache instrumentation (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_lowering_cache_counters_hit_and_miss():
+    from repro.compiler import Compiler
+    from repro.obs import render_summary_text, summarize_trace
+    from repro.obs.sink import parse_trace, trace_to_jsonl
+
+    tracer = Tracer()
+    compiled = Compiler().compile("int main() { return 0; }", "c")
+    with tracer.span("suite-run"):
+        first = compiled.runner(backend="closures", tracer=tracer, name="t")
+        second = compiled.runner(backend="closures", tracer=tracer, name="t")
+    assert first.lower_hit is False
+    assert second.lower_hit is True
+    snapshot = tracer.metrics.snapshot()
+    assert snapshot["counters"]["lower.cache_misses"] == 1
+    assert snapshot["counters"]["lower.cache_hits"] == 1
+    # tree backend never lowers
+    assert compiled.runner(backend="tree", tracer=tracer).lower_hit is None
+
+    trace = parse_trace(trace_to_jsonl(tracer, meta={"command": "t"}))
+    summary = summarize_trace(trace)
+    assert summary.lower_hits == 1 and summary.lower_misses == 1
+    assert "lowering cache     : 1 hits / 1 misses" in \
+        render_summary_text(summary)
+
+
+def test_journal_round_trips_lower_hit(tmp_path, suite10):
+    from repro.journal import JournalWriter, read_journal, \
+        validate_campaign_key
+    from repro.journal.codec import decode_result
+
+    config = _quick_config(backend="closures",
+                           feature_prefixes=["parallel.if"])
+    campaign = validate_campaign_key("1.0", _PGI, config)
+    path = tmp_path / "j.journal"
+    runner = ValidationRunner(_PGI, config)
+    journal = JournalWriter.create(str(path), campaign)
+    report = runner.run_suite(suite10, journal=journal)
+    journal.close()
+
+    assert len(report.results) == 1
+    original = report.results[0]
+    assert original.functional.lower_hit is not None
+
+    loaded = read_journal(str(path))
+    assert len(loaded.records) == 1
+    (payload,) = loaded.records.values()
+    decoded = decode_result(payload, original.template)
+    assert decoded.functional.lower_hit == original.functional.lower_hit
+
+
+# ---------------------------------------------------------------------------
+# the CLI surface
+# ---------------------------------------------------------------------------
+
+
+def test_cli_validate_live_stream_prom_status(tmp_path, capsys):
+    stream = tmp_path / "run.ndjson"
+    prom = tmp_path / "run.prom"
+    out = tmp_path / "report.csv"
+    rc = main(["validate", "--features", "parallel.if", "--iterations", "1",
+               "--no-cross", "--language", "c",
+               "--live-stream", str(stream), "--prom", str(prom),
+               "--status", "--format", "csv", "--output", str(out)])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "\r" in err and "100.0%" in err
+
+    parsed = read_live(str(stream))
+    assert parsed.meta["format"] == LIVE_FORMAT
+    assert parsed.final_snapshot["final"] is True
+    assert lint_prometheus(prom.read_text()) == []
+    sidecar = json.loads((tmp_path / "run.ndjson.snapshot.json").read_text())
+    assert sidecar == parsed.final_snapshot
+
+
+def test_cli_obs_tail_and_summarize(tmp_path, capsys):
+    stream = tmp_path / "run.ndjson"
+    assert main(["validate", "--features", "parallel.if",
+                 "--iterations", "1", "--no-cross", "--language", "c",
+                 "--live-stream", str(stream), "--format", "csv",
+                 "--output", str(tmp_path / "r.csv")]) == 0
+    capsys.readouterr()
+
+    assert main(["obs", "tail", str(stream)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign.start" in out
+    assert "unit.finished" in out
+    assert "FINAL" in out
+
+    assert main(["obs", "tail", str(stream), "--summarize"]) == 0
+    out = capsys.readouterr().out
+    assert "units done" in out
+    assert "run metrics" in out
+
+
+def test_cli_obs_tail_tolerates_torn_tail(tmp_path, capsys):
+    stream = tmp_path / "t.ndjson"
+    _write_stream(stream, torn=True)
+    assert main(["obs", "tail", str(stream), "--summarize"]) == 0
+    captured = capsys.readouterr()
+    assert "malformed" in captured.err
+    assert "units done" in captured.out
+
+
+def test_cli_obs_tail_follow_reads_to_final(tmp_path, capsys):
+    stream = tmp_path / "f.ndjson"
+    _write_stream(stream)
+    assert main(["obs", "tail", str(stream), "--follow",
+                 "--poll-s", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert "unit.finished" in out
+    assert "FINAL" in out
+
+
+def test_cli_obs_tail_missing_file(tmp_path, capsys):
+    assert main(["obs", "tail", str(tmp_path / "nope.ndjson")]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_cli_obs_perf_renders_history(tmp_path, capsys):
+    entry = {
+        "schema": "bench-hotpath/1", "git_sha": "abc1234",
+        "recorded_at": "2026-08-08T00:00:00Z",
+        "python": "3.11.7", "machine": "x86_64",
+        "microbench": {"tree_steps_per_sec": 900000,
+                       "closures_steps_per_sec": 5000000,
+                       "speedup": 5.56, "steps": 1, "reps": 3},
+        "engine": {"tree": {"iterations_per_sec": 250.0},
+                   "closures": {"iterations_per_sec": 240.0}},
+        "generation": {"templates_per_sec": 20000.0},
+        "fig8a": {"wall_s": 8.0},
+    }
+    second = dict(entry, git_sha="def5678",
+                  microbench=dict(entry["microbench"],
+                                  closures_steps_per_sec=5400000))
+    history = tmp_path / "h.jsonl"
+    history.write_text(json.dumps(entry) + "\n" + json.dumps(second) + "\n")
+    out = tmp_path / "perf.html"
+    assert main(["obs", "perf", str(history), "--output", str(out)]) == 0
+    page = out.read_text()
+    assert "abc1234" in page and "def5678" in page
+    assert "5,400,000" in page  # hero number = latest run
+    assert "<svg" in page and "<table>" in page
+    # escaping: poisoned sha must not land raw in the page
+    entry["git_sha"] = "<script>alert(1)</script>"
+    history.write_text(json.dumps(entry) + "\n")
+    capsys.readouterr()
+    assert main(["obs", "perf", str(history)]) == 0
+    page = capsys.readouterr().out
+    assert "<script>alert(1)" not in page
+
+
+def test_cli_obs_perf_empty_input(tmp_path, capsys):
+    empty = tmp_path / "e.jsonl"
+    empty.write_text("")
+    assert main(["obs", "perf", str(empty)]) == 1
+    assert "no bench history" in capsys.readouterr().err
+
+
+def test_cli_titan_live_stream(tmp_path, capsys):
+    stream = tmp_path / "titan.ndjson"
+    rc = main(["titan", "--nodes", "4", "--sample", "2",
+               "--live-stream", str(stream)])
+    assert rc == 0
+    capsys.readouterr()
+    parsed = read_live(str(stream))
+    tally = parsed.tally()
+    assert tally.units_done >= 4  # sample*stacks + any triage rechecks
+    assert parsed.final_snapshot is not None
+    assert parsed.final_snapshot["units_done"] == tally.units_done
+
+
+# ---------------------------------------------------------------------------
+# bench history (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_record_appends_history_with_sha_and_timestamp(tmp_path):
+    from benchmarks.record import append_history
+
+    data = {"schema": "bench-hotpath/1", "recorded_at": "ambient",
+            "microbench": {"closures_steps_per_sec": 1}}
+    path = tmp_path / "h.jsonl"
+    append_history(data, str(path), "cafe123", "2026-08-08T12:00:00Z")
+    append_history(data, str(path), "beef456")
+    lines = [json.loads(line) for line in
+             path.read_text().splitlines()]
+    assert lines[0]["git_sha"] == "cafe123"
+    assert lines[0]["recorded_at"] == "2026-08-08T12:00:00Z"
+    assert lines[1]["git_sha"] == "beef456"
+    assert lines[1]["recorded_at"] == "ambient"  # no override: keep as-is
+    # the input dict is not mutated
+    assert "git_sha" not in data
+
+
+def test_record_history_requires_git_sha(capsys):
+    from benchmarks.record import main as record_main
+
+    with pytest.raises(SystemExit) as exc:
+        record_main(["--history", "h.jsonl"])
+    assert exc.value.code == 2
+    assert "--git-sha" in capsys.readouterr().err
+
+
+def test_committed_history_parses_and_renders():
+    from repro.obs import render_perf_html
+
+    with open("benchmarks/BENCH_history.jsonl", encoding="utf-8") as fh:
+        entries = [json.loads(line) for line in fh if line.strip()]
+    assert entries, "BENCH_history.jsonl must have at least the seed entry"
+    for entry in entries:
+        assert entry["schema"] == "bench-hotpath/1"
+        assert entry["git_sha"]
+    page = render_perf_html(entries)
+    assert entries[-1]["git_sha"] in page
