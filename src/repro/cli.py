@@ -56,6 +56,7 @@ from repro.harness import (
     reset_drain,
 )
 from repro.ioutil import atomic_write_text
+from repro.sched import SCHEDULERS as _SCHEDULERS
 from repro.spec.features import OPENACC_10
 from repro.suite import openacc10_suite
 from repro.templates import generate_cross, generate_functional
@@ -141,6 +142,18 @@ def _open_journal(args, campaign: dict, faults, tracer):
     """
     from repro.journal import JournalWriter
 
+    if getattr(args, "scheduler", "local") == "shards":
+        # shard campaigns journal into per-shard WAL segments
+        from repro.sched import ShardedJournal
+
+        if args.resume:
+            return ShardedJournal.resume(args.resume, campaign,
+                                         tracer=tracer, faults=faults)
+        if args.journal:
+            return ShardedJournal.create(args.journal, campaign,
+                                         shards=args.workers,
+                                         tracer=tracer, faults=faults)
+        return None
     if args.resume:
         return JournalWriter.resume(args.resume, campaign,
                                     tracer=tracer, faults=faults)
@@ -316,8 +329,16 @@ def cmd_validate(args) -> int:
             print(f"journal error: {err}", file=sys.stderr)
             return 1
         displaced = _install_drain_handlers()
+    engine = None
+    if args.scheduler != "local":
+        # a sched backend replaces the policy-selected engine; everything
+        # else (journal, live, selection, report) is shared via run_suite
+        from repro.sched import create_backend
+
+        engine = create_backend(args.scheduler,
+                                workers=args.workers).engine(config)
     try:
-        report = runner.run_suite(suite, journal=journal)
+        report = runner.run_suite(suite, journal=journal, engine=engine)
     except EmptySelectionError as err:
         # an empty selection used to produce an empty report and exit 0 —
         # a vacuous pass that silently blessed typo'd --features filters
@@ -517,27 +538,41 @@ def _obs_follow(args) -> int:
 
     Only complete (newline-terminated) lines are consumed, so a record
     the writer is mid-way through never prints garbled; unparsable
-    complete lines are skipped with a warning.  Exits when the final
-    snapshot arrives, or on Ctrl-C.
+    complete lines are skipped with a warning.  A file that *shrinks*
+    (rotated or truncated by the writer) is picked up again from the
+    start instead of silently never matching another record.  Exits when
+    the final snapshot arrives, on Ctrl-C, or — with ``--idle-timeout-s``
+    — with exit 1 after that many seconds without new data (a follower
+    of a dead campaign must not hang forever in CI).
     """
     import json as _json
+    import os as _os
     import time as _time
 
     from repro.obs.live import render_record_line
 
     offset = 0
     buffered = ""
+    last_data = _time.monotonic()
     try:
         while True:
+            chunk = ""
             try:
+                if _os.path.getsize(args.file) < offset:
+                    print("warning: stream file shrank (rotated or "
+                          "truncated); following from its start",
+                          file=sys.stderr)
+                    offset = 0
+                    buffered = ""
                 with open(args.file, encoding="utf-8") as handle:
                     handle.seek(offset)
                     chunk = handle.read()
             except OSError:
-                _time.sleep(args.poll_s)
-                continue
-            offset += len(chunk.encode("utf-8"))
-            buffered += chunk
+                pass  # not created yet, or rotated away mid-poll
+            if chunk:
+                last_data = _time.monotonic()
+                offset += len(chunk.encode("utf-8"))
+                buffered += chunk
             while "\n" in buffered:
                 line, buffered = buffered.split("\n", 1)
                 line = line.strip()
@@ -556,6 +591,11 @@ def _obs_follow(args) -> int:
                 print(render_record_line(record), flush=True)
                 if record.get("type") == "snapshot" and record.get("final"):
                     return 0
+            if (args.idle_timeout_s is not None
+                    and _time.monotonic() - last_data >= args.idle_timeout_s):
+                print(f"no new stream data in {args.idle_timeout_s:g}s; "
+                      "giving up (writer dead?)", file=sys.stderr)
+                return 1
             _time.sleep(args.poll_s)
     except KeyboardInterrupt:
         return 0
@@ -628,6 +668,162 @@ def cmd_journal(args) -> int:
         for unit in sorted(loaded.records):
             print(f"  {unit}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server import CampaignServer
+
+    server = CampaignServer(args.root, host=args.host, port=args.port,
+                            max_concurrent=args.max_concurrent)
+
+    async def _main() -> None:
+        await server.start()
+        # the bound address on stdout, flushed, so scripts starting the
+        # server in the background (CI smoke) can pick the port up
+        print(f"repro server listening on {server.host}:{server.port} "
+              f"(root {server.root})", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError):
+                break
+        await stop.wait()
+        print("draining: unfinished campaigns re-queued for the next "
+              "serve over this directory", file=sys.stderr)
+        await server.shutdown()
+
+    asyncio.run(_main())
+    return 0
+
+
+def _server_client(args):
+    from repro.server import CampaignClient
+
+    return CampaignClient.at(args.server)
+
+
+def cmd_submit(args) -> int:
+    from repro.server import ServerError
+
+    client = _server_client(args)
+    try:
+        if args.resume:
+            response = client.resubmit(args.resume)
+        else:
+            config: dict = {
+                "iterations": args.iterations,
+                "run_cross": not args.no_cross,
+            }
+            if args.language:
+                config["languages"] = [args.language]
+            if args.features:
+                config["feature_prefixes"] = args.features
+            response = client.submit({
+                "suite": args.suite,
+                "vendor": args.vendor,
+                "version": args.version,
+                "scheduler": args.scheduler,
+                "workers": args.workers,
+                "format": args.format,
+                "config": config,
+            })
+    except (ServerError, OSError) as err:
+        print(f"submit failed: {err}", file=sys.stderr)
+        return 1
+    cid = response["id"]
+    print(f"submitted {cid}")
+    if not args.wait:
+        return 0
+    try:
+        info = client.wait(cid, timeout_s=args.wait_timeout_s)
+    except (ServerError, OSError, TimeoutError) as err:
+        print(f"wait failed: {err}", file=sys.stderr)
+        return 1
+    print(f"campaign {cid} {info['state']}")
+    if info.get("report_path"):
+        print(f"report: {info['report_path']}")
+    if info.get("error"):
+        print(f"error: {info['error']}", file=sys.stderr)
+    if info.get("resume"):
+        print(f"resume with: {info['resume']}", file=sys.stderr)
+    code = info.get("exit")
+    return code if code is not None else 1
+
+
+def cmd_status(args) -> int:
+    from repro.server import ServerError
+
+    client = _server_client(args)
+    try:
+        response = client.status(args.id)
+    except (ServerError, OSError) as err:
+        print(f"status failed: {err}", file=sys.stderr)
+        return 1
+    campaigns = [response["campaign"]] if args.id else response["campaigns"]
+    if not campaigns:
+        print("no campaigns")
+        return 0
+    for info in campaigns:
+        line = (f"{info['id']}  {info['state']:9s} {info['suite']:12s} "
+                f"{info['compiler']:14s} {info['scheduler']}")
+        progress = info.get("progress")
+        if progress and progress.get("units_done") is not None:
+            line += (f"  {progress['units_done']} unit(s), "
+                     f"{progress.get('passed', 0)} pass / "
+                     f"{progress.get('failed', 0)} fail")
+        if info.get("report_path"):
+            line += f"  report {info['report_path']}"
+        if info.get("error"):
+            line += f"  error {info['error']}"
+        print(line)
+        if info.get("resume"):
+            print(f"  resume with: {info['resume']}")
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    from repro.server import ServerError
+
+    client = _server_client(args)
+    try:
+        response = client.cancel(args.id)
+    except (ServerError, OSError) as err:
+        print(f"cancel failed: {err}", file=sys.stderr)
+        return 1
+    print(f"cancel requested for {response['id']}: in-flight units finish "
+          "and are journaled, remaining units are not started")
+    print(f"resume with: {response['resume']}")
+    return 0
+
+
+def cmd_tail(args) -> int:
+    from repro.obs.live import render_record_line
+    from repro.server import ServerError
+
+    client = _server_client(args)
+    try:
+        for payload in client.tail(args.id, timeout_s=args.timeout_s):
+            if payload.get("end"):
+                state = payload["state"]
+                print(f"campaign {args.id} {state}", file=sys.stderr)
+                if payload.get("resume"):
+                    print(f"resume with: {payload['resume']}",
+                          file=sys.stderr)
+                code = payload.get("exit")
+                return code if code is not None else 1
+            record = payload.get("record")
+            if isinstance(record, dict):
+                print(render_record_line(record), flush=True)
+    except (ServerError, OSError) as err:
+        print(f"tail failed: {err}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+    return 1
 
 
 def _add_journal_flags(p) -> None:
@@ -704,7 +900,13 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=list(EXECUTION_POLICIES),
                    help="execution engine (identical reports either way)")
     p.add_argument("--workers", type=_positive_int, default=1, metavar="N",
-                   help="pool size for --policy thread/process")
+                   help="pool size for --policy thread/process (and the "
+                        "shard/pod count for --scheduler shards/simk8s)")
+    p.add_argument("--scheduler", default="local", choices=_SCHEDULERS,
+                   help="campaign scheduler backend: 'local' uses --policy, "
+                        "'shards' runs work-stealing shards with a "
+                        "segmented journal, 'simk8s' drives the simulated "
+                        "k8s control plane (identical reports either way)")
     p.add_argument("--metrics", action="store_true",
                    help="run metrics (wall/compile/execute time, compile-"
                         "cache hit rate, worker utilization); written next "
@@ -776,6 +978,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_journal_flags(p)
     _add_live_flags(p)
 
+    p = sub.add_parser("serve", help="run the campaign server (concurrent "
+                                     "submissions, journaled + resumable)")
+    p.add_argument("root", help="server state directory: the server "
+                                "journal, per-campaign unit journals, "
+                                "NDJSON streams and reports live here")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7781,
+                   help="TCP port (default 7781; 0 picks a free port, "
+                        "printed on startup)")
+    p.add_argument("--max-concurrent", type=_positive_int, default=2,
+                   metavar="N",
+                   help="campaigns run at once; further submissions queue")
+
+    def _server_flag(p) -> None:
+        p.add_argument("--server", default="127.0.0.1:7781",
+                       metavar="HOST:PORT",
+                       help="campaign server address "
+                            "(default 127.0.0.1:7781)")
+
+    p = sub.add_parser("submit", help="submit a campaign to a running "
+                                      "server")
+    _server_flag(p)
+    p.add_argument("--resume", metavar="ID",
+                   help="re-enqueue a cancelled/failed campaign by id "
+                        "instead of submitting a new spec (its unit "
+                        "journal replays completed work)")
+    p.add_argument("--suite", default="1.0", choices=["1.0", "combinations"])
+    p.add_argument("--vendor", choices=list(VENDORS))
+    p.add_argument("--version", help="vendor version (with --vendor)")
+    p.add_argument("--language", choices=["c", "fortran"])
+    p.add_argument("--iterations", type=_positive_int, default=3, metavar="M")
+    p.add_argument("--no-cross", action="store_true")
+    p.add_argument("--features", nargs="*", metavar="PREFIX",
+                   help="feature prefixes to select")
+    p.add_argument("--format", default="text",
+                   choices=["text", "html", "csv", "bugs"])
+    p.add_argument("--scheduler", default="local", choices=_SCHEDULERS,
+                   help="sched backend the server runs the campaign on")
+    p.add_argument("--workers", type=_positive_int, default=None, metavar="N",
+                   help="pool/shard/pod count for the chosen scheduler")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the campaign finishes and exit with "
+                        "its validate-compatible exit code")
+    p.add_argument("--wait-timeout-s", type=_positive_float, default=3600.0,
+                   metavar="SECONDS", dest="wait_timeout_s")
+
+    p = sub.add_parser("status", help="list a server's campaigns (or one "
+                                      "campaign's state)")
+    p.add_argument("id", nargs="?", help="campaign id (all when omitted)")
+    _server_flag(p)
+
+    p = sub.add_parser("cancel", help="cancel one running campaign "
+                                      "(neighbouring campaigns are "
+                                      "untouched)")
+    p.add_argument("id")
+    _server_flag(p)
+
+    p = sub.add_parser("tail", help="replay + follow a campaign's live "
+                                    "records from the server")
+    p.add_argument("id")
+    _server_flag(p)
+    p.add_argument("--timeout-s", type=_positive_float, default=3600.0,
+                   metavar="SECONDS", dest="timeout_s",
+                   help="give up if the stream stalls this long")
+
     p = sub.add_parser("journal", help="inspect a campaign journal")
     jsub = p.add_subparsers(dest="journal_command", required=True)
     ji = jsub.add_parser("inspect",
@@ -812,6 +1079,10 @@ def build_parser() -> argparse.ArgumentParser:
     ot.add_argument("--poll-s", type=_positive_float, default=0.2,
                     metavar="SECONDS", dest="poll_s",
                     help="--follow poll interval (default 0.2s)")
+    ot.add_argument("--idle-timeout-s", type=_positive_float, default=None,
+                    metavar="SECONDS", dest="idle_timeout_s",
+                    help="--follow: exit 1 after this long without new "
+                         "stream data (default: wait forever)")
     op = osub.add_parser("perf",
                          help="render bench history (BENCH_history.jsonl "
                               "and/or BENCH_*.json) as an HTML "
@@ -858,6 +1129,11 @@ _COMMANDS = {
     "trace": cmd_trace,
     "journal": cmd_journal,
     "obs": cmd_obs,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "cancel": cmd_cancel,
+    "tail": cmd_tail,
 }
 
 
@@ -869,6 +1145,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate" and args.vendor and not args.language:
         parser.error("--vendor requires --language (vendor bugs are "
                      "language-specific)")
+    if args.command == "submit" and not args.resume and args.vendor:
+        if not args.version:
+            parser.error("--vendor requires --version")
+        if not args.language:
+            parser.error("--vendor requires --language (vendor bugs are "
+                         "language-specific)")
     try:
         return _COMMANDS[args.command](args)
     except BrokenPipeError:

@@ -11,8 +11,10 @@ Section VII (random-node validation across software stacks).
 from repro.harness.config import EXECUTION_POLICIES, HarnessConfig
 from repro.harness.engine import (
     CampaignInterrupted,
+    CancelToken,
     MAX_POOL_DEATHS,
     RunMetrics,
+    activate_token,
     create_engine,
     drain_requested,
     harness_error_result,
@@ -53,7 +55,8 @@ from repro.harness.titan import (
 
 __all__ = [
     "EXECUTION_POLICIES", "HarnessConfig",
-    "CampaignInterrupted", "MAX_POOL_DEATHS", "RunMetrics", "create_engine",
+    "CampaignInterrupted", "CancelToken", "MAX_POOL_DEATHS", "RunMetrics",
+    "activate_token", "create_engine",
     "drain_requested", "harness_error_result", "request_drain",
     "reset_drain", "run_unit_resilient",
     "accidental_pass_probability", "certainty", "cross_fail_probability",

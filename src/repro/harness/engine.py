@@ -34,11 +34,20 @@ configuration, because retries replay the same config-derived seeds.
 Durability: every policy reports each finished unit through an optional
 per-unit completion callback, invoked from the coordinating thread in
 completion order — the hook :mod:`repro.journal` uses to append fsync'd
-records the moment results exist.  A graceful drain (:func:`request_drain`,
-installed as the SIGINT/SIGTERM handler for journaled campaigns) makes
-engines finish their in-flight units and raise
+records the moment results exist.
+
+Cancellation: every campaign owns a :class:`CancelToken`.  Cancelling it
+makes the engines finish their in-flight units and raise
 :class:`CampaignInterrupted` instead of starting new ones, so an
 interrupted campaign exits with everything completed so far journaled.
+Tokens are per-campaign state, so one campaign's cancel never drains a
+concurrent neighbour and never poisons later runs in the same process —
+the :mod:`repro.server` relies on this to cancel one client's campaign
+while the rest keep running.  The legacy process-global drain API
+(:func:`request_drain`/:func:`drain_requested`/:func:`reset_drain`) is
+kept as a deprecated shim over a module-default token: ``request_drain``
+additionally cancels every *active* campaign token, so the CLI's
+SIGINT/SIGTERM path behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -78,41 +87,139 @@ MAX_POOL_DEATHS = 3
 
 
 # ---------------------------------------------------------------------------
-# graceful drain (SIGINT/SIGTERM -> finish in-flight units, then stop)
+# cancellation (graceful drain: finish in-flight units, then stop)
 # ---------------------------------------------------------------------------
-
-_DRAIN = threading.Event()
 
 
 class CampaignInterrupted(RuntimeError):
-    """A graceful drain was requested (SIGINT/SIGTERM) and the engine
-    stopped dispatching work.  Completed units were already handed to the
-    completion callback (journaled); the campaign is resumable."""
+    """A graceful drain was requested (cancel token / SIGINT/SIGTERM) and
+    the engine stopped dispatching work.  Completed units were already
+    handed to the completion callback (journaled); the campaign is
+    resumable."""
+
+
+class CancelToken:
+    """A per-campaign cancellation handle.
+
+    ``run_suite`` (and Titan) check the token between work units:
+    cancelling makes the engines finish their in-flight units, skip the
+    rest, and raise :class:`CampaignInterrupted`.  Each campaign gets its
+    own token (``run_suite(cancel=...)``, defaulting to a fresh one), so
+    cancelling one campaign never touches a concurrent neighbour and a
+    finished/cancelled campaign never poisons the next run_suite call in
+    the same process — the two historical bugs of the process-global
+    ``_DRAIN`` event this class replaced.
+
+    Thread-safe: ``cancel()`` may be called from any thread or from a
+    signal handler (it only sets a :class:`threading.Event`).
+    """
+
+    __slots__ = ("_event", "_reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request a graceful drain of the campaign holding this token."""
+        if reason is not None and self._reason is None:
+            self._reason = reason
+        self._event.set()
+
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def reset(self) -> None:
+        """Re-arm the token (used by the deprecated ``reset_drain`` shim;
+        fresh campaigns should just build a fresh token)."""
+        self._event.clear()
+        self._reason = None
+
+    def check(self) -> None:
+        """Raise :class:`CampaignInterrupted` if cancelled."""
+        if self._event.is_set():
+            raise CampaignInterrupted(
+                self._reason
+                or "graceful drain requested: in-flight units finished, "
+                   "remaining units not started"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled() else "armed"
+        return f"<CancelToken {state} at {id(self):#x}>"
+
+
+#: tokens of campaigns currently inside an engine run; ``request_drain``
+#: (the SIGINT/SIGTERM handler) cancels all of them.  A list, not a set:
+#: Titan re-registers its token around every inner run_suite call.
+_ACTIVE_TOKENS: List[CancelToken] = []
+_ACTIVE_LOCK = threading.Lock()
+
+#: the token behind the deprecated module-level drain API; the CLI's
+#: reset_drain()/request_drain() signal path operates on this one
+_DEFAULT_TOKEN = CancelToken()
+
+
+class _TokenActivation:
+    """Context manager registering a token as an active campaign."""
+
+    __slots__ = ("_token",)
+
+    def __init__(self, token: CancelToken) -> None:
+        self._token = token
+
+    def __enter__(self) -> CancelToken:
+        with _ACTIVE_LOCK:
+            _ACTIVE_TOKENS.append(self._token)
+        return self._token
+
+    def __exit__(self, *exc_info) -> None:
+        with _ACTIVE_LOCK:
+            try:
+                _ACTIVE_TOKENS.remove(self._token)
+            except ValueError:  # pragma: no cover - double-exit guard
+                pass
+
+
+def activate_token(token: CancelToken) -> _TokenActivation:
+    """Register ``token`` as an active campaign for the duration of a
+    ``with`` block, making it reachable from :func:`request_drain` (the
+    CLI's SIGINT/SIGTERM handler)."""
+    return _TokenActivation(token)
 
 
 def request_drain(signum: Optional[int] = None, frame=None) -> None:
-    """Ask every running engine to stop after its in-flight units.
+    """Deprecated shim: ask *every* active campaign to drain gracefully.
 
     Signature is signal-handler compatible, so the CLI installs it
-    directly for SIGINT/SIGTERM on journaled campaigns.
+    directly for SIGINT/SIGTERM — a console interrupt should stop
+    everything in the process, which is exactly this shim's semantics.
+    Library callers who want to cancel *one* campaign should pass a
+    :class:`CancelToken` to ``run_suite(cancel=...)`` and cancel that
+    instead.
     """
-    _DRAIN.set()
+    reason = None
+    if signum is not None:
+        reason = (
+            f"graceful drain requested (signal {signum}): in-flight units "
+            "finished, remaining units not started"
+        )
+    _DEFAULT_TOKEN.cancel(reason)
+    with _ACTIVE_LOCK:
+        active = list(_ACTIVE_TOKENS)
+    for token in active:
+        token.cancel(reason)
 
 
 def drain_requested() -> bool:
-    return _DRAIN.is_set()
+    """Deprecated shim: state of the module-default token only (it cannot
+    see per-campaign tokens; ask your own token instead)."""
+    return _DEFAULT_TOKEN.cancelled()
 
 
 def reset_drain() -> None:
-    _DRAIN.clear()
-
-
-def _check_drain() -> None:
-    if _DRAIN.is_set():
-        raise CampaignInterrupted(
-            "graceful drain requested (SIGINT/SIGTERM): in-flight units "
-            "finished, remaining units not started"
-        )
+    """Deprecated shim: re-arm the module-default token."""
+    _DEFAULT_TOKEN.reset()
 
 
 @dataclass
@@ -185,7 +292,12 @@ def run_unit_resilient(runner: "ValidationRunner", template: "TestTemplate",
     wall-clock timeouts, or genuine harness bugs.  Each is retried with
     exponential backoff (``retry_backoff_s * 2**n`` via the runner's
     injectable sleeper) and, once the budget is exhausted, degraded to a
-    HARNESS_ERROR-marked result.  Never raises.
+    HARNESS_ERROR-marked result.  Never raises — with one exception: when
+    the campaign's :class:`CancelToken` (``runner.cancel``, set by
+    run_suite for the run's duration) is cancelled between retry
+    attempts, the unit gives up immediately with
+    :class:`CampaignInterrupted` so a drain is not held up by a retry
+    backoff ladder.
 
     ``base_attempt`` threads the engine-level attempt number (pool
     respawns) into the fault injector so transient injected faults do not
@@ -193,6 +305,7 @@ def run_unit_resilient(runner: "ValidationRunner", template: "TestTemplate",
     """
     config = runner.config
     tracer = runner.tracer
+    cancel = getattr(runner, "cancel", None)
     # live telemetry (repro.obs.live): set by run_suite in the coordinating
     # process for serial/thread runs; process-pool workers rebuild their
     # runner without it (sinks live only in the parent), so their retries
@@ -209,6 +322,10 @@ def run_unit_resilient(runner: "ValidationRunner", template: "TestTemplate",
             error = err
             if n >= config.retries:
                 break
+            if cancel is not None:
+                # a draining campaign must not sit out a backoff ladder;
+                # the unit is simply not journaled and re-runs on resume
+                cancel.check()
             if tracer.enabled:
                 tracer.event("engine.retry", template=unit_key,
                              attempt=attempt, error=repr(err))
@@ -243,11 +360,13 @@ class SerialEngine:
 
     def run(self, templates: Sequence["TestTemplate"],
             runner: "ValidationRunner",
-            on_complete: Optional[UnitCallback] = None) -> EngineOutcomes:
+            on_complete: Optional[UnitCallback] = None,
+            cancel: Optional[CancelToken] = None) -> EngineOutcomes:
+        cancel = cancel if cancel is not None else CancelToken()
         worker = "main"
         outcomes: EngineOutcomes = []
         for index, template in enumerate(templates):
-            _check_drain()
+            cancel.check()
             result = run_unit_resilient(runner, template)
             outcomes.append((result, worker))
             if on_complete is not None:
@@ -265,10 +384,12 @@ class ThreadEngine:
 
     def run(self, templates: Sequence["TestTemplate"],
             runner: "ValidationRunner",
-            on_complete: Optional[UnitCallback] = None) -> EngineOutcomes:
+            on_complete: Optional[UnitCallback] = None,
+            cancel: Optional[CancelToken] = None) -> EngineOutcomes:
         if not templates:
             return []
-        _check_drain()
+        cancel = cancel if cancel is not None else CancelToken()
+        cancel.check()
 
         def unit(payload: Tuple[int, "TestTemplate"]):
             index, template = payload
@@ -288,7 +409,7 @@ class ThreadEngine:
                     raw.append((index, result, worker))
                     if on_complete is not None:
                         on_complete(index, templates[index], result)
-                    _check_drain()
+                    cancel.check()
             except BaseException:
                 # drain or a callback failure (e.g. an injected journal
                 # tear): drop queued units, let in-flight ones finish
@@ -363,10 +484,12 @@ class ProcessEngine:
 
     def run(self, templates: Sequence["TestTemplate"],
             runner: "ValidationRunner",
-            on_complete: Optional[UnitCallback] = None) -> EngineOutcomes:
+            on_complete: Optional[UnitCallback] = None,
+            cancel: Optional[CancelToken] = None) -> EngineOutcomes:
         if not templates:
             return []
-        _check_drain()
+        cancel = cancel if cancel is not None else CancelToken()
+        cancel.check()
         tracer = runner.tracer
         initargs = (runner.behavior, runner.config,
                     tracer.profile if tracer.enabled else None)
@@ -408,7 +531,7 @@ class ProcessEngine:
                             # they finish; the journal append happens here,
                             # before any more completions are awaited
                             on_complete(index, templates[index], result)
-                        _check_drain()
+                        cancel.check()
                 except BaseException:
                     pool.shutdown(wait=True, cancel_futures=True)
                     raise
@@ -430,7 +553,7 @@ class ProcessEngine:
                          pool_deaths=pool_deaths)
         for i, attempt in sorted(pending.items()):
             # serial fallback: the pool kept dying, run the rest in-process
-            _check_drain()
+            cancel.check()
             result = run_unit_resilient(runner, templates[i],
                                         base_attempt=attempt)
             done[i] = (result, "fallback", None)

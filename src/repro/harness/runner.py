@@ -275,6 +275,12 @@ class ValidationRunner:
         #: files, .prom writers) must only ever be opened by the
         #: coordinating process — run_suite builds them when needed
         self.live = live
+        #: the campaign's repro.harness.engine.CancelToken while run_suite
+        #: is executing (the retry layer polls it between attempts); None
+        #: otherwise.  Like ``live``, never auto-built here: process-pool
+        #: workers rebuild a runner from the same config and their units
+        #: are cancelled pool-wide by the coordinating parent instead
+        self.cancel = None
         #: the retry layer's backoff sleep — injectable so tests are instant
         self.sleeper = time.sleep
         #: fault injector built from the config's plan (NULL_INJECTOR = off)
@@ -335,6 +341,8 @@ class ValidationRunner:
         suite: SuiteRegistry,
         templates: Optional[Iterable[TestTemplate]] = None,
         journal=None,
+        cancel=None,
+        engine=None,
     ) -> SuiteRunReport:
         """Run the (selected) suite; see class docstring.
 
@@ -343,8 +351,24 @@ class ValidationRunner:
         and every freshly-run unit is appended — fsync'd — the moment its
         engine reports completion, making the campaign resumable after a
         crash at any instant.
+
+        ``cancel`` is this campaign's
+        :class:`repro.harness.engine.CancelToken`; cancelling it drains
+        the run gracefully (:class:`CampaignInterrupted` after the
+        in-flight units finish).  Defaults to a fresh token, so a cancel —
+        or a process-wide ``request_drain`` — in an earlier or concurrent
+        campaign never bleeds into this one.
+
+        ``engine`` overrides the execution engine (anything honouring the
+        ``run(templates, runner, on_complete=, cancel=)`` protocol, e.g. a
+        :mod:`repro.sched` backend's); by default it is built from the
+        config's ``policy``/``workers``.  Purely an execution knob:
+        reports stay byte-identical across engines.
         """
+        from repro.harness.engine import CancelToken, activate_token
+
         config = self.config
+        cancel = cancel if cancel is not None else CancelToken()
         if templates is None:
             templates = suite.select(
                 languages=config.languages,
@@ -362,7 +386,8 @@ class ValidationRunner:
             )
         from repro.harness.engine import build_metrics, create_engine
 
-        engine = create_engine(config.policy, config.workers)
+        if engine is None:
+            engine = create_engine(config.policy, config.workers)
         report = SuiteRunReport(
             compiler_label=self.behavior.label, config=config
         )
@@ -437,16 +462,22 @@ class ValidationRunner:
 
         pending = [templates[i] for i in range(len(templates))
                    if i not in replayed]
-        # expose the live pipeline to the retry layer for the duration of
-        # the run (engine.retry / engine.worker_lost events)
+        # expose the live pipeline and the cancel token to the retry layer
+        # for the duration of the run (engine.retry / engine.worker_lost
+        # events; prompt drain out of a backoff ladder)
         self.live = live
+        previous_cancel = self.cancel
+        self.cancel = cancel
         try:
-            with tracer.span(
+            # while the engine runs, the token is an *active* campaign:
+            # request_drain (the CLI's SIGINT/SIGTERM handler) reaches it
+            with activate_token(cancel), tracer.span(
                 "run", key=self.behavior.label,
                 policy=engine.policy, workers=engine.workers,
             ) as root:
                 start = time.perf_counter()
-                outcomes = engine.run(pending, self, on_complete=on_complete)
+                outcomes = engine.run(pending, self, on_complete=on_complete,
+                                      cancel=cancel)
                 report.elapsed_s = time.perf_counter() - start
         except BaseException:
             # interrupted (drain, injected tear, Ctrl-C): finalize the
@@ -456,6 +487,7 @@ class ValidationRunner:
                 live.end(None)
             raise
         finally:
+            self.cancel = previous_cancel
             if owns_live:
                 self.live = None
         # spans recorded off the main thread (thread pools) or adopted from

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler import CompilerBehavior
 from repro.harness.config import HarnessConfig
-from repro.harness.engine import _check_drain
+from repro.harness.engine import CancelToken, activate_token
 from repro.harness.runner import FailureKind, SuiteRunReport, ValidationRunner
 from repro.obs import NULL_TRACER
 from repro.spec.devices import ACC_DEVICE_NVIDIA, ACC_DEVICE_OPENCL
@@ -188,6 +188,7 @@ class TitanHarness:
         recheck: int = 1,
         journal=None,
         live=None,
+        cancel=None,
     ):
         self.cluster = cluster
         self.suite = suite
@@ -219,6 +220,10 @@ class TitanHarness:
         #: work unit, so a killed campaign resumes without re-validating
         #: nodes it already checked
         self.journal = journal
+        #: this campaign's CancelToken: cancelling it drains the sweep /
+        #: timeline gracefully between node checks (CampaignInterrupted),
+        #: exactly like run_suite's per-campaign token
+        self.cancel = cancel if cancel is not None else CancelToken()
         self._template_map: Optional[Dict[str, object]] = None
 
     def _recheck_config(self, offset: int) -> HarnessConfig:
@@ -277,7 +282,7 @@ class TitanHarness:
         runner = ValidationRunner(node.stacks[stack],
                                   config or self.config,
                                   tracer=self.tracer)
-        report = runner.run_suite(self.suite)
+        report = runner.run_suite(self.suite, cancel=self.cancel)
         check = StackCheck(
             node_id=node.node_id, stack=stack, healthy=node.healthy,
             report=report,
@@ -318,11 +323,12 @@ class TitanHarness:
             # triage re-checks and recovery probes extend it as they happen
             self.live.extend_total(len(sample) * len(stacks))
         checks: List[StackCheck] = []
-        with self.tracer.span("titan.sweep", key=f"seed={seed}",
-                              sample=len(sample)) as span:
+        with activate_token(self.cancel), self.tracer.span(
+                "titan.sweep", key=f"seed={seed}",
+                sample=len(sample)) as span:
             for node in sample:
                 for stack in stacks:
-                    _check_drain()
+                    self.cancel.check()
                     with self.tracer.span(
                         "titan.check", key=f"node{node.node_id}:{stack}",
                         healthy=node.healthy,
@@ -364,7 +370,7 @@ class TitanHarness:
             node = nodes_by_id[check.node_id]
             persistent = True
             for r in range(self.recheck):
-                _check_drain()
+                self.cancel.check()
                 if self.tracer.enabled:
                     self.tracer.metrics.counter("titan.rechecks").inc()
                 if self.live is not None:
@@ -405,28 +411,29 @@ class TitanHarness:
         that come back clean.  Returns the recovered node ids."""
         recovered: List[int] = []
         nodes_by_id = {n.node_id: n for n in self.cluster.nodes}
-        for node_id, record in sorted(self.quarantined.items()):
-            _check_drain()
-            record.probes += 1
-            if self.live is not None:
-                self.live.extend_total(1)
-            check = self.check_node(
-                nodes_by_id[node_id], record.stack,
-                config=self._recheck_config(self.recheck + 1 + epoch),
-                unit=f"probe{epoch}:node{node_id}:{record.stack}",
-            )
-            if self.tracer.enabled:
-                self.tracer.metrics.counter("titan.probes").inc()
-            if not check.flagged:
-                recovered.append(node_id)
-                if self.tracer.enabled:
-                    self.tracer.event("titan.recovered", node=node_id,
-                                      stack=record.stack,
-                                      probes=record.probes)
-                    self.tracer.metrics.counter("titan.recovered").inc()
+        with activate_token(self.cancel):
+            for node_id, record in sorted(self.quarantined.items()):
+                self.cancel.check()
+                record.probes += 1
                 if self.live is not None:
-                    self.live.event("titan.recovered", node=node_id,
-                                    stack=record.stack)
+                    self.live.extend_total(1)
+                check = self.check_node(
+                    nodes_by_id[node_id], record.stack,
+                    config=self._recheck_config(self.recheck + 1 + epoch),
+                    unit=f"probe{epoch}:node{node_id}:{record.stack}",
+                )
+                if self.tracer.enabled:
+                    self.tracer.metrics.counter("titan.probes").inc()
+                if not check.flagged:
+                    recovered.append(node_id)
+                    if self.tracer.enabled:
+                        self.tracer.event("titan.recovered", node=node_id,
+                                          stack=record.stack,
+                                          probes=record.probes)
+                        self.tracer.metrics.counter("titan.recovered").inc()
+                    if self.live is not None:
+                        self.live.event("titan.recovered", node=node_id,
+                                        stack=record.stack)
         for node_id in recovered:
             del self.quarantined[node_id]
         return recovered

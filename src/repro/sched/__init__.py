@@ -1,0 +1,47 @@
+"""Scheduler backends: pluggable campaign placement (DESIGN §5h).
+
+The execution *engines* (:mod:`repro.harness.engine`) decide how one
+suite run's work units are interleaved in a single process.  A
+*scheduler backend* decides where a whole campaign runs: it owns the
+engine choice, the worker pool shape, and — for distributed flavours —
+the journal layout.  Three implementations ship:
+
+* ``local`` — wraps today's serial/thread/process engines unchanged;
+* ``shards`` — work-stealing over N worker shards, each owning its own
+  compile cache (and, with :class:`ShardedJournal`, its own journal
+  segment), merged into the usual byte-identical report;
+* ``simk8s`` — a simulated Kubernetes-flavoured backend (job-spec
+  submission, pod-phase polling, log collection, cancellation) shaped
+  after ReFrame's k8s scheduler, so the control-plane code paths a real
+  cluster would exercise are testable in-process.
+
+Every backend honours the engine protocol's per-campaign
+:class:`~repro.harness.engine.CancelToken` and produces reports that are
+byte-identical to a serial run of the same configuration.
+"""
+
+from repro.sched.base import (
+    SCHEDULERS,
+    SchedulerBackend,
+    create_backend,
+)
+from repro.sched.local import LocalBackend
+from repro.sched.shards import ShardedJournal, ShardsBackend, ShardsEngine
+from repro.sched.simk8s import (
+    POD_FAILED,
+    POD_PENDING,
+    POD_RUNNING,
+    POD_SUCCEEDED,
+    JobSpec,
+    SimK8sBackend,
+    SimK8sCluster,
+    SimK8sEngine,
+)
+
+__all__ = [
+    "SCHEDULERS", "SchedulerBackend", "create_backend",
+    "LocalBackend",
+    "ShardedJournal", "ShardsBackend", "ShardsEngine",
+    "JobSpec", "SimK8sBackend", "SimK8sCluster", "SimK8sEngine",
+    "POD_PENDING", "POD_RUNNING", "POD_SUCCEEDED", "POD_FAILED",
+]

@@ -1,0 +1,86 @@
+"""The :class:`SchedulerBackend` contract and the backend registry.
+
+A backend is a *campaign placement policy*: given a behaviour, a config
+and a suite it produces a :class:`~repro.harness.runner.SuiteRunReport`
+by driving ``ValidationRunner.run_suite`` with a backend-specific
+execution engine.  All the hard invariants live in ``run_suite`` and are
+therefore shared by every backend:
+
+* reports are byte-identical to a serial run of the same configuration
+  (template order and per-iteration seeds derive from the config, never
+  from scheduling);
+* journal replay/append and live telemetry work unchanged;
+* cancellation is the campaign's own
+  :class:`~repro.harness.engine.CancelToken` — cancelling one campaign
+  never touches its neighbours.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+#: backend names accepted by :func:`create_backend` (and the CLI's
+#: ``--scheduler`` flag)
+SCHEDULERS = ("local", "shards", "simk8s")
+
+
+class SchedulerBackend:
+    """Base class: one campaign-placement policy.
+
+    Subclasses implement :meth:`engine` — anything honouring the engine
+    protocol ``run(templates, runner, on_complete=, cancel=) ->
+    EngineOutcomes`` — and inherit :meth:`run`, which wires the engine
+    into the shared ``run_suite`` machinery (selection, journal replay,
+    live telemetry, metrics, report assembly).
+    """
+
+    #: registry name; also reported as ``RunMetrics.policy``
+    name = "?"
+
+    def engine(self, config):
+        """Build this backend's execution engine for one campaign."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        behavior,
+        config,
+        suite,
+        templates: Optional[Iterable] = None,
+        *,
+        journal=None,
+        cancel=None,
+        tracer=None,
+        live=None,
+    ):
+        """Run one campaign on this backend; returns the SuiteRunReport."""
+        from repro.harness.runner import ValidationRunner
+
+        runner = ValidationRunner(behavior, config, tracer=tracer, live=live)
+        return runner.run_suite(
+            suite, templates=templates, journal=journal, cancel=cancel,
+            engine=self.engine(config),
+        )
+
+
+def create_backend(name: str, workers: Optional[int] = None) -> SchedulerBackend:
+    """Instantiate a registered backend.
+
+    ``workers`` maps onto the backend's pool-shape knob: the engine pool
+    size for ``local`` (where None defers to ``config.workers``), the
+    shard count for ``shards``, the pod count for ``simk8s``.
+    """
+    from repro.sched.local import LocalBackend
+    from repro.sched.shards import ShardsBackend
+    from repro.sched.simk8s import SimK8sBackend
+
+    if name == "local":
+        return LocalBackend(workers=workers)
+    if name == "shards":
+        return ShardsBackend(shards=workers or 2)
+    if name == "simk8s":
+        return SimK8sBackend(pods=workers or 2)
+    raise ValueError(
+        f"unknown scheduler backend {name!r}; expected one of "
+        f"{', '.join(SCHEDULERS)}"
+    )

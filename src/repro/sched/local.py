@@ -1,0 +1,29 @@
+"""The ``local`` backend: today's engines behind the backend contract."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.base import SchedulerBackend
+
+
+class LocalBackend(SchedulerBackend):
+    """Runs the campaign with the config's serial/thread/process engine.
+
+    ``workers`` (and ``policy``) override the config's knobs when given,
+    so a server can place campaigns onto a sized pool without rewriting
+    each submission's config.
+    """
+
+    name = "local"
+
+    def __init__(self, policy: Optional[str] = None,
+                 workers: Optional[int] = None):
+        self.policy = policy
+        self.workers = workers
+
+    def engine(self, config):
+        from repro.harness.engine import create_engine
+
+        return create_engine(self.policy or config.policy,
+                             self.workers or config.workers)

@@ -1,0 +1,329 @@
+"""The ``shards`` backend: work-stealing over N self-contained shards.
+
+Each shard is a worker thread with its *own* :class:`ValidationRunner`
+(and therefore its own compile cache and fault injector) — the shape of
+a distributed deployment where every shard is a separate node holding
+private state.  Work units are dealt round-robin into per-shard deques;
+an idle shard steals from the back of the longest neighbour's deque, so
+a shard stuck on a slow unit cannot strand the rest of the suite.
+
+Determinism: which shard runs a unit affects *only* the metrics' worker
+attribution.  Results are reassembled in template order and every seed
+derives from the config, so shard runs render byte-identical reports to
+serial runs — the invariant the cross-backend differential test pins.
+
+Resilience mirrors :class:`~repro.harness.engine.ProcessEngine`: an
+injected worker death kills the shard thread; the engine respawns a
+fresh shard (new runner, bumped attempt for the lost unit) up to
+:data:`~repro.harness.engine.MAX_POOL_DEATHS` deaths, then stops
+trusting shards and runs the remainder serially in the coordinator.
+
+:class:`ShardedJournal` gives each shard campaign a segmented WAL:
+every segment is an ordinary :class:`~repro.journal.JournalWriter` file
+(inspectable with ``repro journal inspect``), and units route to
+segments by a stable hash of the unit key — *not* by which shard ran
+them, because work stealing makes that assignment scheduling-dependent
+and a resume must find each record no matter how the original run was
+interleaved.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import zlib
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.engine import (
+    MAX_POOL_DEATHS,
+    CancelToken,
+    CampaignInterrupted,
+    EngineOutcomes,
+    UnitCallback,
+    run_unit_resilient,
+)
+from repro.sched.base import SchedulerBackend
+
+
+class ShardsEngine:
+    """Work-stealing execution over ``shards`` self-contained shards."""
+
+    policy = "shards"
+
+    def __init__(self, shards: int = 2):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1 (got {shards})")
+        self.shards = shards
+        self.workers = shards
+
+    # ------------------------------------------------------------ internals
+
+    def _shard_runner(self, runner, cancel):
+        """A shard's private runner: own cache, shared tracer/live/token."""
+        from repro.harness.runner import ValidationRunner
+
+        shard = ValidationRunner(runner.behavior, runner.config,
+                                 tracer=runner.tracer)
+        # the live bus and the campaign token are process-wide, thread-safe
+        # coordination points; the backoff sleeper stays injectable
+        shard.live = runner.live
+        shard.cancel = cancel
+        shard.sleeper = runner.sleeper
+        if shard.faults.enabled and runner.faults.enabled:
+            shard.faults.sleeper = runner.faults.sleeper
+        return shard
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, templates: Sequence, runner,
+            on_complete: Optional[UnitCallback] = None,
+            cancel: Optional[CancelToken] = None) -> EngineOutcomes:
+        if not templates:
+            return []
+        cancel = cancel if cancel is not None else CancelToken()
+        cancel.check()
+        total = len(templates)
+        shard_count = min(self.shards, total)
+
+        lock = threading.Lock()
+        queues: List[deque] = [deque() for _ in range(shard_count)]
+        attempts: Dict[int, int] = {i: 0 for i in range(total)}
+        for i in range(total):
+            queues[i % shard_count].append(i)
+        completions: "queue.Queue[tuple]" = queue.Queue()
+        stop = threading.Event()
+
+        def take_work(shard_id: int) -> Optional[Tuple[int, int]]:
+            with lock:
+                own = queues[shard_id]
+                if own:
+                    index = own.popleft()
+                    return index, attempts[index]
+                victim = max(
+                    (q for q in queues if q), key=len, default=None
+                )
+                if victim is None:
+                    return None
+                # steal from the back: the victim keeps its near-term work
+                index = victim.pop()
+                return index, attempts[index]
+
+        def shard_main(shard_id: int, shard_runner) -> None:
+            index = None
+            try:
+                while not stop.is_set():
+                    item = take_work(shard_id)
+                    if item is None:
+                        break
+                    index, attempt = item
+                    template = templates[index]
+                    unit_key = f"{template.feature}:{template.language}"
+                    if shard_runner.faults.worker_site(unit_key, attempt):
+                        # injected shard death: the thread exits mid-unit,
+                        # exactly like a node dropping off the network
+                        completions.put(("died", shard_id, index))
+                        return
+                    result = run_unit_resilient(shard_runner, template,
+                                                base_attempt=attempt)
+                    completions.put(("done", shard_id, index, result))
+                    index = None
+                completions.put(("exit", shard_id))
+            except CampaignInterrupted:
+                completions.put(("exit", shard_id))
+            except BaseException:  # a harness bug: treat as a shard death
+                if index is not None:
+                    completions.put(("died", shard_id, index))
+                else:
+                    completions.put(("exit", shard_id))
+
+        threads: Dict[int, threading.Thread] = {}
+
+        def spawn(shard_id: int) -> None:
+            thread = threading.Thread(
+                target=shard_main,
+                args=(shard_id, self._shard_runner(runner, cancel)),
+                name=f"shard-{shard_id}",
+            )
+            threads[f"{shard_id}:{id(thread)}"] = thread
+            thread.start()
+
+        for shard_id in range(shard_count):
+            spawn(shard_id)
+
+        tracer = runner.tracer
+        live = getattr(runner, "live", None)
+        done: Dict[int, Tuple[object, str]] = {}
+        pending_serial: List[int] = []
+        deaths = 0
+        alive = shard_count
+        try:
+            while len(done) + len(pending_serial) < total and alive > 0:
+                kind, shard_id, *rest = completions.get()
+                if kind == "exit":
+                    alive -= 1
+                    continue
+                if kind == "died":
+                    (index,) = rest
+                    deaths += 1
+                    alive -= 1
+                    attempts[index] += 1
+                    if tracer.enabled:
+                        tracer.event("engine.worker_lost", lost_units=1,
+                                     pool_deaths=deaths)
+                        tracer.metrics.counter("engine.worker_lost").inc()
+                    if live is not None:
+                        live.event("engine.worker_lost", lost_units=1,
+                                   pool_deaths=deaths)
+                    if deaths <= MAX_POOL_DEATHS:
+                        with lock:
+                            queues[shard_id].appendleft(index)
+                        spawn(shard_id)
+                        alive += 1
+                    else:
+                        # too many dead shards: stop dispatching, pull all
+                        # queued work back for the serial fallback below
+                        stop.set()
+                        with lock:
+                            pending_serial.append(index)
+                            for q in queues:
+                                pending_serial.extend(q)
+                                q.clear()
+                    continue
+                index, result = rest
+                done[index] = (result, f"shard-{shard_id}")
+                if on_complete is not None:
+                    on_complete(index, templates[index], result)
+                cancel.check()
+            # every shard exited (drain or death overflow): anything not
+            # completed and not already pulled is still queued
+            with lock:
+                for q in queues:
+                    pending_serial.extend(q)
+                    q.clear()
+        finally:
+            stop.set()
+            for thread in threads.values():
+                thread.join()
+        cancel.check()
+        if pending_serial and tracer.enabled:
+            tracer.event("engine.serial_fallback",
+                         units=len(pending_serial), pool_deaths=deaths)
+        for index in sorted(set(pending_serial)):
+            if index in done:
+                continue
+            cancel.check()
+            result = run_unit_resilient(runner, templates[index],
+                                        base_attempt=attempts[index])
+            done[index] = (result, "fallback")
+            if on_complete is not None:
+                on_complete(index, templates[index], result)
+        return [done[i] for i in range(total)]
+
+
+class ShardsBackend(SchedulerBackend):
+    """Campaign placement onto a :class:`ShardsEngine`."""
+
+    name = "shards"
+
+    def __init__(self, shards: int = 2):
+        self.shards = shards
+
+    def engine(self, config):
+        return ShardsEngine(self.shards)
+
+
+# ---------------------------------------------------------------------------
+# sharded journal
+# ---------------------------------------------------------------------------
+
+
+def segment_path(path: str, shard: int) -> str:
+    """The on-disk path of one journal segment."""
+    return f"{path}.shard{shard}"
+
+
+def route_unit(unit: str, segments: int) -> int:
+    """Stable unit-key -> segment routing (crc32, no PYTHONHASHSEED)."""
+    return zlib.crc32(unit.encode("utf-8")) % segments
+
+
+class ShardedJournal:
+    """A campaign journal split into N per-shard WAL segments.
+
+    Duck-types :class:`~repro.journal.JournalWriter` (``get``/``append``/
+    ``close``/``records``/``path``), so ``run_suite`` and the CLI use it
+    unchanged.  Every segment is a complete, independently inspectable
+    journal bound to the *same* campaign key; appends route by
+    :func:`route_unit` so a resume — possibly with a different shard
+    count in the config, which is execution-only — replays every record
+    found across the segments on disk.
+    """
+
+    def __init__(self, path: str, writers: List):
+        self.path = path
+        self.writers = writers
+        self.campaign = writers[0].campaign
+
+    @classmethod
+    def create(cls, path: str, campaign: dict, shards: int,
+               tracer=None, faults=None) -> "ShardedJournal":
+        from repro.journal import JournalWriter
+
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1 (got {shards})")
+        writers = [
+            JournalWriter.create(segment_path(path, k), campaign,
+                                 tracer=tracer, faults=faults)
+            for k in range(shards)
+        ]
+        return cls(path, writers)
+
+    @classmethod
+    def resume(cls, path: str, campaign: dict,
+               tracer=None, faults=None) -> "ShardedJournal":
+        import os
+
+        from repro.journal import JournalError, JournalWriter
+
+        count = 0
+        while os.path.exists(segment_path(path, count)):
+            count += 1
+        if count == 0:
+            raise JournalError(
+                f"no journal segments found at {segment_path(path, 0)!r}; "
+                "was this campaign journaled with --scheduler shards?"
+            )
+        writers = [
+            JournalWriter.resume(segment_path(path, k), campaign,
+                                 tracer=tracer, faults=faults)
+            for k in range(count)
+        ]
+        return cls(path, writers)
+
+    @property
+    def records(self) -> Dict[str, dict]:
+        merged: Dict[str, dict] = {}
+        for writer in self.writers:
+            merged.update(writer.records)
+        return merged
+
+    def get(self, unit: str) -> Optional[dict]:
+        # the routed segment is the expected home, but a resume may run
+        # with a different segment count than the writer that recorded the
+        # unit — fall back to scanning all segments
+        payload = self.writers[route_unit(unit, len(self.writers))].get(unit)
+        if payload is not None:
+            return payload
+        for writer in self.writers:
+            payload = writer.get(unit)
+            if payload is not None:
+                return payload
+        return None
+
+    def append(self, unit: str, payload: dict) -> None:
+        self.writers[route_unit(unit, len(self.writers))].append(unit, payload)
+
+    def close(self) -> None:
+        for writer in self.writers:
+            writer.close()

@@ -1,0 +1,333 @@
+"""The ``simk8s`` backend: a simulated Kubernetes-flavoured scheduler.
+
+Modeled on the shape of ReFrame's k8s scheduler: the controller turns
+each work unit into a :class:`JobSpec`, submits it to a
+:class:`SimK8sCluster`, then *polls* pod phases (``Pending`` ->
+``Running`` -> ``Succeeded``/``Failed``), collects logs from failed
+pods, resubmits failed jobs with a bumped attempt number, and deletes
+jobs on completion or cancellation.  The cluster is an in-process stand
+in — pods are threads with private runners (own compile cache each),
+like real pods with private filesystems — so the whole control plane
+(submission, state machine, log plumbing, cancellation, failure
+budgets) is exercised without a cluster.
+
+Failure semantics differ deliberately from the process engine: a real
+batch controller cannot fall back to running work "in the parent" on a
+remote node, so a job that keeps failing past ``max_pod_failures``
+degrades to a HARNESS_ERROR-marked result (with the pod's last log line
+as the detail) instead of hanging or crashing the campaign.
+
+Determinism: poll order is sorted by job name and results are
+reassembled in template order, so clean simk8s runs render
+byte-identical reports to serial runs of the same configuration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.engine import (
+    CancelToken,
+    CampaignInterrupted,
+    EngineOutcomes,
+    UnitCallback,
+    harness_error_result,
+    run_unit_resilient,
+)
+from repro.sched.base import SchedulerBackend
+
+POD_PENDING = "Pending"
+POD_RUNNING = "Running"
+POD_SUCCEEDED = "Succeeded"
+POD_FAILED = "Failed"
+
+
+class PodFailure(RuntimeError):
+    """A job exhausted its pod-failure budget; carries the last pod log."""
+
+
+@dataclass
+class JobSpec:
+    """One submitted unit of work (a k8s Job with a single pod)."""
+
+    name: str
+    index: int
+    template: object
+    attempt: int = 0
+
+
+@dataclass
+class _Job:
+    spec: JobSpec
+    phase: str = POD_PENDING
+    logs: List[str] = field(default_factory=list)
+    result: Optional[object] = None
+    future: Optional[object] = None
+    #: the pod that ran the job (metrics worker attribution)
+    worker: str = "pod"
+
+
+class SimK8sCluster:
+    """The simulated cluster API: submit / poll / logs / delete.
+
+    ``pods`` bounds concurrency (the cluster's node capacity); a
+    submitted job sits ``Pending`` until a pod thread picks it up.  Each
+    pod thread lazily builds one private runner via ``runner_factory``
+    and reuses it across the jobs it executes — pods are long-lived,
+    caches are per-pod.
+    """
+
+    def __init__(self, pods: int, runner_factory, namespace: str = "repro"):
+        if pods < 1:
+            raise ValueError(f"pods must be >= 1 (got {pods})")
+        self.namespace = namespace
+        self._runner_factory = runner_factory
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, _Job] = {}
+        self._pod_ids = iter(range(1_000_000))
+        self._executor = ThreadPoolExecutor(
+            max_workers=pods, thread_name_prefix=f"{namespace}-pod"
+        )
+
+    # ----------------------------------------------------------- cluster API
+
+    def submit(self, spec: JobSpec) -> None:
+        """Create the job; a pod will be scheduled for it when capacity
+        allows."""
+        with self._lock:
+            if spec.name in self._jobs:
+                raise ValueError(f"job {spec.name!r} already exists")
+            job = _Job(spec=spec)
+            job.logs.append(f"job {spec.name} created (attempt {spec.attempt})")
+            self._jobs[spec.name] = job
+        job.future = self._executor.submit(self._run_pod, spec.name)
+
+    def poll(self) -> Dict[str, str]:
+        """Snapshot of every live job's pod phase, sorted by job name."""
+        with self._lock:
+            return {name: self._jobs[name].phase
+                    for name in sorted(self._jobs)}
+
+    def logs(self, name: str) -> str:
+        with self._lock:
+            return "\n".join(self._jobs[name].logs)
+
+    def result(self, name: str):
+        with self._lock:
+            return self._jobs[name].result
+
+    def worker(self, name: str) -> str:
+        with self._lock:
+            return self._jobs[name].worker
+
+    def delete(self, name: str) -> None:
+        """Delete a job: forget its state, cancel its pod if still
+        pending (a running pod finishes its unit first, as a real
+        controller's grace period would allow)."""
+        with self._lock:
+            job = self._jobs.pop(name, None)
+        if job is not None and job.future is not None:
+            job.future.cancel()
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------- pod side
+
+    def _pod_runner(self):
+        runner = getattr(self._local, "runner", None)
+        if runner is None:
+            runner = self._runner_factory()
+            self._local.runner = runner
+            self._local.pod = f"pod-{next(self._pod_ids)}"
+        return runner
+
+    def _log(self, name: str, line: str) -> None:
+        with self._lock:
+            job = self._jobs.get(name)
+            if job is not None:
+                job.logs.append(line)
+
+    def _set_phase(self, name: str, phase: str) -> None:
+        with self._lock:
+            job = self._jobs.get(name)
+            if job is not None:
+                job.phase = phase
+
+    def _run_pod(self, name: str) -> None:
+        with self._lock:
+            job = self._jobs.get(name)
+            if job is None:  # deleted while pending
+                return
+            spec = job.spec
+        runner = self._pod_runner()
+        pod = self._local.pod
+        self._set_phase(name, POD_RUNNING)
+        self._log(name, f"pod {pod} running {spec.name}")
+        template = spec.template
+        unit_key = f"{template.feature}:{template.language}"
+        try:
+            if runner.faults.worker_site(unit_key, spec.attempt):
+                # injected pod death (the OOMKilled of this simulation)
+                self._log(name, "pod killed by injected worker fault "
+                                f"(attempt {spec.attempt})")
+                self._set_phase(name, POD_FAILED)
+                return
+            result = run_unit_resilient(runner, template,
+                                        base_attempt=spec.attempt)
+        except CampaignInterrupted:
+            self._log(name, "pod cancelled: campaign drain requested")
+            self._set_phase(name, POD_FAILED)
+            return
+        except BaseException as err:  # a harness bug inside the pod
+            self._log(name, f"pod crashed: {err!r}")
+            self._set_phase(name, POD_FAILED)
+            return
+        with self._lock:
+            job = self._jobs.get(name)
+            if job is not None:
+                job.result = result
+                job.worker = pod
+                job.logs.append(f"pod {pod} completed {spec.name}")
+                job.phase = POD_SUCCEEDED
+
+
+class SimK8sEngine:
+    """The controller: submit every unit, poll, resubmit, degrade."""
+
+    policy = "simk8s"
+
+    def __init__(self, pods: int = 2, namespace: str = "repro",
+                 poll_interval_s: float = 0.005,
+                 max_pod_failures: int = 3):
+        self.pods = pods
+        self.workers = pods
+        self.namespace = namespace
+        self.poll_interval_s = poll_interval_s
+        #: failed pods tolerated per job before the unit degrades to a
+        #: HARNESS_ERROR row (a controller cannot serial-fallback)
+        self.max_pod_failures = max_pod_failures
+        #: injectable clock for tests
+        self.sleeper = time.sleep
+
+    def _job_name(self, index: int, attempt: int) -> str:
+        return f"{self.namespace}-job{index:04d}-a{attempt}"
+
+    def _pod_runner_factory(self, runner, cancel):
+        from repro.harness.runner import ValidationRunner
+
+        def factory():
+            pod = ValidationRunner(runner.behavior, runner.config,
+                                   tracer=runner.tracer)
+            pod.live = runner.live
+            pod.cancel = cancel
+            pod.sleeper = runner.sleeper
+            if pod.faults.enabled and runner.faults.enabled:
+                pod.faults.sleeper = runner.faults.sleeper
+            return pod
+
+        return factory
+
+    def run(self, templates: Sequence, runner,
+            on_complete: Optional[UnitCallback] = None,
+            cancel: Optional[CancelToken] = None) -> EngineOutcomes:
+        if not templates:
+            return []
+        cancel = cancel if cancel is not None else CancelToken()
+        cancel.check()
+        tracer = runner.tracer
+        live = getattr(runner, "live", None)
+        cluster = SimK8sCluster(
+            self.pods, self._pod_runner_factory(runner, cancel),
+            namespace=self.namespace,
+        )
+        #: live job name -> template index
+        active: Dict[str, int] = {}
+        failures: Dict[int, int] = {}
+        done: Dict[int, Tuple[object, str]] = {}
+        try:
+            for index, template in enumerate(templates):
+                name = self._job_name(index, 0)
+                cluster.submit(JobSpec(name=name, index=index,
+                                       template=template))
+                active[name] = index
+            while active:
+                progressed = False
+                for name, phase in cluster.poll().items():
+                    index = active.get(name)
+                    if index is None or phase in (POD_PENDING, POD_RUNNING):
+                        continue
+                    progressed = True
+                    del active[name]
+                    if phase == POD_SUCCEEDED:
+                        result = cluster.result(name)
+                        worker = cluster.worker(name)
+                        cluster.delete(name)
+                        done[index] = (result, worker)
+                        if on_complete is not None:
+                            on_complete(index, templates[index], result)
+                        continue
+                    # Failed: collect the log, resubmit or degrade
+                    log_tail = cluster.logs(name).splitlines()[-1]
+                    cluster.delete(name)
+                    count = failures[index] = failures.get(index, 0) + 1
+                    if tracer.enabled:
+                        tracer.event("engine.pod_failed", job=name,
+                                     failures=count, log=log_tail)
+                        tracer.metrics.counter("engine.pod_failed").inc()
+                    if live is not None:
+                        live.event("engine.worker_lost", lost_units=1,
+                                   pool_deaths=count)
+                    if cancel.cancelled():
+                        # draining: do not resubmit, the check below raises
+                        continue
+                    if count > self.max_pod_failures:
+                        template = templates[index]
+                        result = harness_error_result(template, PodFailure(
+                            f"job for {template.feature}:{template.language} "
+                            f"failed {count} time(s); last pod log: "
+                            f"{log_tail}"
+                        ))
+                        done[index] = (result, "controller")
+                        if on_complete is not None:
+                            on_complete(index, templates[index], result)
+                        continue
+                    attempt = failures[index]
+                    respawn = self._job_name(index, attempt)
+                    cluster.submit(JobSpec(name=respawn, index=index,
+                                           template=templates[index],
+                                           attempt=attempt))
+                    active[respawn] = index
+                cancel.check()
+                if active and not progressed:
+                    self.sleeper(self.poll_interval_s)
+        finally:
+            cluster.shutdown()
+        cancel.check()
+        return [done[i] for i in range(len(templates))]
+
+
+class SimK8sBackend(SchedulerBackend):
+    """Campaign placement onto a :class:`SimK8sEngine`."""
+
+    name = "simk8s"
+
+    def __init__(self, pods: int = 2, namespace: str = "repro",
+                 poll_interval_s: float = 0.005,
+                 max_pod_failures: int = 3):
+        self.pods = pods
+        self.namespace = namespace
+        self.poll_interval_s = poll_interval_s
+        self.max_pod_failures = max_pod_failures
+
+    def engine(self, config):
+        return SimK8sEngine(
+            self.pods, namespace=self.namespace,
+            poll_interval_s=self.poll_interval_s,
+            max_pod_failures=self.max_pod_failures,
+        )

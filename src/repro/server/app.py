@@ -1,0 +1,534 @@
+"""The asyncio campaign server (``repro serve``).
+
+One process serves many concurrent campaign submissions: each campaign
+runs on a :mod:`repro.sched` backend inside a bounded worker pool, owns
+a per-campaign :class:`~repro.harness.engine.CancelToken` (cancelling
+one client's campaign never touches its neighbours — the bugfix this
+whole layer stands on), streams its ``repro.obs.live`` records to any
+number of ``tail`` clients, and is journaled twice over:
+
+* the *server journal* (``server.journal``, an ordinary
+  :mod:`repro.journal` WAL keyed by campaign id, last-record-wins)
+  records every submission spec and state transition, so a killed
+  server restarts knowing exactly which campaigns were in flight;
+* each campaign's *unit journal* (``<id>.journal``) records completed
+  work units, so a re-enqueued campaign replays instead of re-running.
+
+Threading model: the asyncio loop owns all client I/O and the
+subscriber fan-out; campaigns run in a ``ThreadPoolExecutor`` and reach
+the loop only via ``call_soon_threadsafe``.  Campaign state is guarded
+by one lock because both sides read it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.server import protocol
+from repro.server.protocol import (
+    SERVER_FORMAT,
+    ProtocolError,
+    encode_line,
+    normalize_spec,
+    state_exit_code,
+)
+
+#: default TCP port ("repro" has 5 letters, v1 protocol, port space taste)
+DEFAULT_PORT = 7781
+
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class Campaign:
+    """One submitted campaign and its server-side plumbing."""
+
+    def __init__(self, cid: str, spec: dict, state: str = "queued"):
+        self.id = cid
+        self.spec = spec
+        self.state = state
+        self.error: Optional[str] = None
+        self.report_path: Optional[str] = None
+        #: did the finished report contain failures (exit-code split)
+        self.failures: Optional[bool] = None
+        from repro.harness.engine import CancelToken
+
+        self.cancel = CancelToken()
+        #: live records fanned out so far (loop-thread owned)
+        self.records: List[dict] = []
+        self.last_snapshot: Optional[dict] = None
+        #: tail subscribers (loop-thread owned asyncio.Queues)
+        self.subscribers: List[asyncio.Queue] = []
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    @property
+    def exit_code(self) -> Optional[int]:
+        return state_exit_code(self.state, self.failures)
+
+
+class _BroadcastSink:
+    """A live-telemetry sink forwarding records into the asyncio loop."""
+
+    def __init__(self, server: "CampaignServer", campaign: Campaign):
+        self._server = server
+        self._campaign = campaign
+
+    def emit(self, record: dict) -> None:
+        self._server._post_record(self._campaign, record)
+
+    def close(self, final: Optional[dict] = None) -> None:
+        pass
+
+
+class CampaignServer:
+    """The campaign server: see module docstring."""
+
+    def __init__(self, root: str, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT, max_concurrent: int = 2):
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1 (got {max_concurrent})"
+            )
+        self.root = root
+        self.host = host
+        self.port = port
+        self.max_concurrent = max_concurrent
+        self._campaigns: Dict[str, Campaign] = {}
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="campaign"
+        )
+        self._journal = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+
+    # -------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Open (or resume) the server journal, bind the socket, and
+        re-enqueue every campaign a previous life left unfinished."""
+        os.makedirs(self.root, exist_ok=True)
+        self._loop = asyncio.get_running_loop()
+        resumed = self._open_server_journal()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+        for campaign in resumed:
+            self._launch(campaign)
+
+    async def serve_forever(self) -> None:
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: drain every campaign, keep their journaled
+        states resumable (a queued/running campaign restarts as queued
+        on the next ``repro serve`` over the same directory)."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        with self._lock:
+            campaigns = list(self._campaigns.values())
+        for campaign in campaigns:
+            if not campaign.terminal:
+                campaign.cancel.cancel(
+                    "server shutting down: campaign re-queued for the "
+                    "next serve over this directory"
+                )
+        await self._loop.run_in_executor(
+            None, lambda: self._pool.shutdown(wait=True)
+        )
+        if self._journal is not None:
+            self._journal.close()
+
+    def _open_server_journal(self) -> List[Campaign]:
+        import repro
+        from repro.journal import JOURNAL_FORMAT, JournalWriter
+
+        path = os.path.join(self.root, "server.journal")
+        key = {"format": JOURNAL_FORMAT, "command": "serve",
+               "code_version": repro.__version__}
+        resumed: List[Campaign] = []
+        if os.path.exists(path):
+            self._journal = JournalWriter.resume(path, key)
+            for cid in sorted(self._journal.records):
+                payload = self._journal.records[cid]
+                campaign = Campaign(cid, payload["spec"],
+                                    state=payload["state"])
+                campaign.error = payload.get("error")
+                campaign.report_path = payload.get("report_path")
+                campaign.failures = payload.get("failures")
+                self._campaigns[cid] = campaign
+                number = int(cid.lstrip("c") or 0)
+                self._next_id = max(self._next_id, number + 1)
+                if campaign.state in ("queued", "running"):
+                    # in flight when the last server died: run it again —
+                    # its unit journal replays everything already done
+                    campaign.state = "queued"
+                    self._journal_state(campaign)
+                    resumed.append(campaign)
+        else:
+            self._journal = JournalWriter.create(path, key)
+        return resumed
+
+    # ------------------------------------------------------- campaign driving
+
+    def _journal_state(self, campaign: Campaign) -> None:
+        self._journal.append(campaign.id, {
+            "spec": campaign.spec,
+            "state": campaign.state,
+            "error": campaign.error,
+            "report_path": campaign.report_path,
+            "failures": campaign.failures,
+        })
+
+    def _set_state(self, campaign: Campaign, state: str, *,
+                   error: Optional[str] = None) -> None:
+        with self._lock:
+            campaign.state = state
+            if error is not None:
+                campaign.error = error
+            self._journal_state(campaign)
+        if state in _TERMINAL:
+            self._post_finish(campaign)
+
+    def _launch(self, campaign: Campaign) -> None:
+        self._loop.run_in_executor(self._pool, self._run_campaign, campaign)
+
+    def _campaign_journal(self, campaign: Campaign, config, behavior):
+        """Create or resume the campaign's unit journal (sharded when the
+        spec schedules onto shards)."""
+        from repro.journal import JournalWriter
+        from repro.sched.shards import ShardedJournal, segment_path
+
+        key = protocol.spec_campaign_key(campaign.spec, config, behavior)
+        base = os.path.join(self.root, f"{campaign.id}.journal")
+        if campaign.spec["scheduler"] == "shards":
+            if os.path.exists(segment_path(base, 0)):
+                return ShardedJournal.resume(base, key)
+            return ShardedJournal.create(
+                base, key, shards=campaign.spec.get("workers") or 2
+            )
+        if os.path.exists(base):
+            return JournalWriter.resume(base, key)
+        return JournalWriter.create(base, key)
+
+    def _run_campaign(self, campaign: Campaign) -> None:
+        """Worker-thread body: run one campaign end to end."""
+        from repro.harness.engine import CampaignInterrupted
+        from repro.obs.live import LiveTelemetry, NDJSONStreamSink
+
+        live = None
+        try:
+            self._set_state(campaign, "running")
+            config = protocol.spec_config(campaign.spec)
+            behavior = protocol.spec_behavior(campaign.spec, config)
+            backend = protocol.spec_backend(campaign.spec)
+            suite = protocol.spec_suite(campaign.spec)
+            stream_path = os.path.join(self.root, f"{campaign.id}.ndjson")
+            live = LiveTelemetry(
+                sinks=[NDJSONStreamSink(stream_path),
+                       _BroadcastSink(self, campaign)],
+                min_interval_s=0.2,
+            )
+            journal = self._campaign_journal(campaign, config, behavior)
+            try:
+                report = backend.run(
+                    behavior, config, suite,
+                    journal=journal, cancel=campaign.cancel, live=live,
+                )
+            finally:
+                journal.close()
+            live.end(report)
+            fmt = campaign.spec["format"]
+            extension = protocol.REPORT_EXTENSIONS[fmt]
+            report_path = os.path.join(
+                self.root, f"{campaign.id}.report.{extension}"
+            )
+            from repro.ioutil import atomic_write_text
+
+            atomic_write_text(report_path, protocol.render_report(report, fmt))
+            with self._lock:
+                campaign.report_path = report_path
+                campaign.failures = bool(report.failures())
+            self._set_state(campaign, "done")
+        except CampaignInterrupted:
+            if live is not None:
+                live.end(None)
+            if self._draining:
+                # server shutdown, not a client cancel: stay resumable
+                self._set_state(campaign, "queued")
+            else:
+                self._set_state(campaign, "cancelled")
+        except BaseException as err:
+            if live is not None:
+                live.end(None)
+            self._set_state(campaign, "failed", error=repr(err))
+
+    # ------------------------------------------------- loop-side record fanout
+
+    def _post_record(self, campaign: Campaign, record: dict) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._fanout, campaign, record)
+        except RuntimeError:  # loop already closed (late shutdown emission)
+            pass
+
+    def _post_finish(self, campaign: Campaign) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._finish_subscribers, campaign)
+        except RuntimeError:
+            pass
+
+    def _fanout(self, campaign: Campaign, record: dict) -> None:
+        campaign.records.append(record)
+        if record.get("type") == "snapshot":
+            campaign.last_snapshot = record
+        for queue in campaign.subscribers:
+            queue.put_nowait(record)
+
+    def _finish_subscribers(self, campaign: Campaign) -> None:
+        for queue in campaign.subscribers:
+            queue.put_nowait(None)
+        campaign.subscribers = []
+
+    # ---------------------------------------------------------------- queries
+
+    def _resume_hint(self, campaign: Campaign) -> Optional[str]:
+        if campaign.state not in ("cancelled", "failed"):
+            return None
+        return (f"repro submit --server {self.host}:{self.port} "
+                f"--resume {campaign.id}")
+
+    def campaign_info(self, campaign: Campaign) -> dict:
+        with self._lock:
+            spec = campaign.spec
+            info = {
+                "id": campaign.id,
+                "state": campaign.state,
+                "suite": spec["suite"],
+                "compiler": (f"{spec['vendor']} {spec['version']}"
+                             if spec.get("vendor") else "reference"),
+                "scheduler": spec["scheduler"],
+                "format": spec["format"],
+                "error": campaign.error,
+                "report_path": campaign.report_path,
+                "exit": campaign.exit_code,
+                "resume": self._resume_hint(campaign),
+            }
+        snapshot = campaign.last_snapshot
+        if snapshot is not None:
+            info["progress"] = {
+                key: snapshot.get(key)
+                for key in ("total_units", "units_done", "passed", "failed",
+                            "harness_errors", "final")
+            }
+        return info
+
+    def _get(self, cid) -> Campaign:
+        if not isinstance(cid, str):
+            raise ProtocolError("missing campaign id")
+        with self._lock:
+            campaign = self._campaigns.get(cid)
+        if campaign is None:
+            raise ProtocolError(f"no such campaign: {cid!r}")
+        return campaign
+
+    # ------------------------------------------------------------ request ops
+
+    def _op_submit(self, request: dict) -> dict:
+        if self._draining:
+            raise ProtocolError("server is shutting down")
+        resume = request.get("resume")
+        if resume is not None:
+            campaign = self._get(resume)
+            if not campaign.terminal:
+                raise ProtocolError(
+                    f"campaign {campaign.id} is {campaign.state}; only "
+                    "cancelled/failed/done campaigns can be re-submitted"
+                )
+            from repro.harness.engine import CancelToken
+
+            with self._lock:
+                campaign.cancel = CancelToken()
+                campaign.error = None
+                campaign.failures = None
+                campaign.state = "queued"
+                campaign.records = []
+                campaign.last_snapshot = None
+                self._journal_state(campaign)
+        else:
+            spec = normalize_spec(request.get("spec") or {})
+            with self._lock:
+                cid = f"c{self._next_id:04d}"
+                self._next_id += 1
+                campaign = Campaign(cid, spec)
+                self._campaigns[cid] = campaign
+                self._journal_state(campaign)
+        self._launch(campaign)
+        return {"ok": True, "id": campaign.id, "state": campaign.state}
+
+    def _op_status(self, request: dict) -> dict:
+        cid = request.get("id")
+        if cid is not None:
+            return {"ok": True, "campaign": self.campaign_info(self._get(cid))}
+        with self._lock:
+            campaigns = [self._campaigns[c] for c in sorted(self._campaigns)]
+        return {
+            "ok": True,
+            "format": SERVER_FORMAT,
+            "campaigns": [self.campaign_info(c) for c in campaigns],
+        }
+
+    def _op_cancel(self, request: dict) -> dict:
+        campaign = self._get(request.get("id"))
+        if campaign.terminal:
+            raise ProtocolError(
+                f"campaign {campaign.id} already {campaign.state}"
+            )
+        campaign.cancel.cancel(
+            f"campaign {campaign.id} cancelled by client request: "
+            "in-flight units finished, remaining units not started"
+        )
+        return {
+            "ok": True, "id": campaign.id, "state": campaign.state,
+            "resume": (f"repro submit --server {self.host}:{self.port} "
+                       f"--resume {campaign.id}"),
+        }
+
+    # --------------------------------------------------------- client handling
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = protocol.decode_line(line)
+                op = request.get("op")
+                if op == "ping":
+                    writer.write(encode_line(
+                        {"ok": True, "format": SERVER_FORMAT}
+                    ))
+                elif op == "submit":
+                    writer.write(encode_line(self._op_submit(request)))
+                elif op == "status":
+                    writer.write(encode_line(self._op_status(request)))
+                elif op == "cancel":
+                    writer.write(encode_line(self._op_cancel(request)))
+                elif op == "tail":
+                    await self._op_tail(request, writer)
+                else:
+                    raise ProtocolError(f"unknown op {op!r}")
+            except ProtocolError as err:
+                writer.write(encode_line({"ok": False, "error": str(err)}))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _op_tail(self, request: dict,
+                       writer: asyncio.StreamWriter) -> None:
+        campaign = self._get(request.get("id"))
+        queue: asyncio.Queue = asyncio.Queue()
+        campaign.subscribers.append(queue)
+        try:
+            writer.write(encode_line({"ok": True, "id": campaign.id}))
+            # let fan-out callbacks already scheduled on the loop land, so
+            # the replay below is complete up to "now"
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            replayed = list(campaign.records)
+            seen = set()
+            for record in replayed:
+                seen.add(record.get("seq"))
+                writer.write(encode_line({"record": record}))
+            await writer.drain()
+            finished = campaign.terminal
+            while not finished:
+                record = await queue.get()
+                if record is None:
+                    break
+                if record.get("seq") in seen:
+                    continue
+                writer.write(encode_line({"record": record}))
+                await writer.drain()
+            writer.write(encode_line({
+                "end": True,
+                "state": campaign.state,
+                "exit": campaign.exit_code,
+                "resume": self._resume_hint(campaign),
+            }))
+        finally:
+            if queue in campaign.subscribers:
+                campaign.subscribers.remove(queue)
+
+
+# ---------------------------------------------------------------------------
+# embedding helpers (tests, CLI)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, smoke scripts)."""
+
+    def __init__(self, server: CampaignServer,
+                 loop: asyncio.AbstractEventLoop, thread: threading.Thread):
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def address(self) -> str:
+        return f"{self.server.host}:{self.server.port}"
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self.loop
+        ).result(timeout=120)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=120)
+
+
+def serve_in_thread(root: str, host: str = "127.0.0.1", port: int = 0,
+                    max_concurrent: int = 2) -> ServerHandle:
+    """Start a :class:`CampaignServer` on a fresh event loop in a daemon
+    thread; returns once the socket is bound."""
+    ready = threading.Event()
+    holder: dict = {}
+
+    def main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = CampaignServer(root, host=host, port=port,
+                                max_concurrent=max_concurrent)
+        loop.run_until_complete(server.start())
+        holder["server"] = server
+        holder["loop"] = loop
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=main, name="repro-server", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=60):
+        raise RuntimeError("campaign server failed to start within 60s")
+    return ServerHandle(holder["server"], holder["loop"], thread)

@@ -1,0 +1,129 @@
+"""A small blocking client for the campaign server.
+
+One TCP connection per operation (the protocol is single-request,
+except ``tail`` which streams until the server sends its end line), so
+the client needs no connection state and works from scripts, tests and
+the CLI alike.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.server.protocol import ProtocolError, decode_line, encode_line
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split a ``host:port`` string (the ``--server`` flag's format)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"bad server address {address!r}; expected host:port"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+class ServerError(RuntimeError):
+    """The server answered ``{"ok": false, ...}``."""
+
+
+class CampaignClient:
+    """Blocking ``repro.server/v1`` client."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    @classmethod
+    def at(cls, address: str, timeout_s: float = 60.0) -> "CampaignClient":
+        host, port = parse_address(address)
+        return cls(host, port, timeout_s=timeout_s)
+
+    # ------------------------------------------------------------- transport
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+
+    def _roundtrip(self, request: dict) -> dict:
+        with self._connect() as sock:
+            sock.sendall(encode_line(request))
+            with sock.makefile("rb") as stream:
+                line = stream.readline()
+        if not line:
+            raise ServerError("server closed the connection mid-request")
+        return self._checked(line)
+
+    @staticmethod
+    def _checked(line: bytes) -> dict:
+        try:
+            response = decode_line(line)
+        except ProtocolError as err:
+            raise ServerError(f"malformed server response: {err}") from None
+        if not response.get("ok", True):
+            raise ServerError(response.get("error", "unknown server error"))
+        return response
+
+    # ------------------------------------------------------------------- ops
+
+    def ping(self) -> dict:
+        return self._roundtrip({"op": "ping"})
+
+    def submit(self, spec: dict) -> dict:
+        return self._roundtrip({"op": "submit", "spec": spec})
+
+    def resubmit(self, cid: str) -> dict:
+        return self._roundtrip({"op": "submit", "resume": cid})
+
+    def status(self, cid: Optional[str] = None) -> dict:
+        request: dict = {"op": "status"}
+        if cid is not None:
+            request["id"] = cid
+        return self._roundtrip(request)
+
+    def cancel(self, cid: str) -> dict:
+        return self._roundtrip({"op": "cancel", "id": cid})
+
+    def tail(self, cid: str,
+             timeout_s: Optional[float] = None) -> Iterator[dict]:
+        """Yield ``{"record": ...}`` lines then the final ``{"end": ...}``
+        line.  Blocks until the campaign reaches a terminal state."""
+        with self._connect() as sock:
+            sock.settimeout(timeout_s if timeout_s is not None
+                            else self.timeout_s)
+            sock.sendall(encode_line({"op": "tail", "id": cid}))
+            with sock.makefile("rb") as stream:
+                ack = stream.readline()
+                if not ack:
+                    raise ServerError("server closed the tail stream "
+                                      "before acknowledging")
+                self._checked(ack)
+                for line in stream:
+                    payload = self._checked(line)
+                    yield payload
+                    if payload.get("end"):
+                        return
+        raise ServerError("tail stream ended without an end line")
+
+    # ------------------------------------------------------------ conveniences
+
+    def wait(self, cid: str, timeout_s: float = 300.0,
+             poll_s: float = 0.05,
+             sleeper: Callable[[float], None] = time.sleep) -> dict:
+        """Poll ``status`` until the campaign is terminal; returns its
+        info dict (``state``/``exit``/``report_path``/...)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            info = self.status(cid)["campaign"]
+            if info["state"] in ("done", "failed", "cancelled"):
+                return info
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {cid} still {info['state']} after "
+                    f"{timeout_s:.0f}s"
+                )
+            sleeper(poll_s)

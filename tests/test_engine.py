@@ -268,3 +268,204 @@ class TestRunMetrics:
         bare = SuiteRunReport(compiler_label="x", config=report.config)
         assert "no run metrics" in render_metrics_text(bare)
         assert render_metrics_csv(bare) == "metric,value\n"
+
+
+# ---------------------------------------------------------------------------
+# per-campaign cancellation (the CancelToken bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestCancelToken:
+    def test_token_lifecycle(self):
+        from repro.harness import CampaignInterrupted, CancelToken
+
+        token = CancelToken()
+        assert not token.cancelled()
+        token.check()  # no-op while not cancelled
+        token.cancel("test reason")
+        assert token.cancelled()
+        with pytest.raises(CampaignInterrupted, match="test reason"):
+            token.check()
+        token.reset()
+        assert not token.cancelled()
+        token.check()
+
+    def test_request_drain_reaches_active_tokens_only(self):
+        from repro.harness import (
+            CancelToken,
+            activate_token,
+            request_drain,
+            reset_drain,
+        )
+
+        active = CancelToken()
+        bystander = CancelToken()
+        with activate_token(active):
+            request_drain()
+        assert active.cancelled()
+        assert not bystander.cancelled()
+        # a token created after the drain starts fresh — the regression
+        # this layer fixes: the old process-global flag poisoned every
+        # later campaign in the process
+        assert not CancelToken().cancelled()
+        reset_drain()
+
+    def test_activation_is_reentrant(self):
+        # Titan re-registers its token around every inner run_suite
+        from repro.harness import CancelToken, activate_token
+
+        token = CancelToken()
+        with activate_token(token):
+            with activate_token(token):
+                pass
+
+    def test_second_campaign_after_drained_one_runs_clean(self):
+        # satellite regression: campaign 1 drains; campaign 2, with no
+        # explicit token, must run to completion on a fresh default
+        from repro.harness import CampaignInterrupted, CancelToken
+
+        config = HarnessConfig(iterations=1, languages=("c",),
+                               feature_prefixes=["loop", "parallel"])
+        runner = ValidationRunner(_BUGGY, config)
+        doomed = CancelToken()
+        doomed.cancel("drain campaign 1")
+        with pytest.raises(CampaignInterrupted):
+            runner.run_suite(openacc10_suite(), cancel=doomed)
+        report = runner.run_suite(openacc10_suite())
+        assert report.results and runner.cancel is None
+
+    def test_stale_global_drain_does_not_poison_new_campaigns(self):
+        # the literal pre-fix failure mode: request_drain() with no
+        # campaign active used to set a process-global flag that made
+        # every subsequent run_suite abort on its first unit
+        from repro.harness import drain_requested, request_drain, reset_drain
+
+        request_drain()
+        assert drain_requested()
+        try:
+            config = HarnessConfig(iterations=1, languages=("c",),
+                                   feature_prefixes=["loop.gang"])
+            report = ValidationRunner(_BUGGY, config).run_suite(
+                openacc10_suite()
+            )
+            assert report.results
+        finally:
+            reset_drain()
+            assert not drain_requested()
+
+    def test_retry_ladder_aborts_on_drain(self):
+        # run_unit_resilient's never-raises contract has one documented
+        # exception: a draining campaign must not sit out backoff sleeps
+        from repro.faults import FaultPlan
+        from repro.harness import (
+            CampaignInterrupted,
+            CancelToken,
+            run_unit_resilient,
+        )
+
+        config = HarnessConfig(
+            iterations=1, languages=("c",), retries=3, retry_backoff_s=60.0,
+            feature_prefixes=["loop.gang"],
+            fault_plan=FaultPlan.parse("iteration=1.0,persistent,seed=3"),
+        )
+        runner = ValidationRunner(_BUGGY, config)
+        token = CancelToken()
+        runner.cancel = token
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            token.cancel("drain mid-backoff")
+
+        runner.sleeper = fake_sleep
+        template = next(t for t in openacc10_suite()
+                        if t.feature == "loop.gang" and t.language == "c")
+        with pytest.raises(CampaignInterrupted):
+            run_unit_resilient(runner, template)
+        assert len(sleeps) == 1  # aborted after the first backoff
+
+
+class TestConcurrentCampaigns:
+    def _csv(self, config):
+        return render_csv(
+            ValidationRunner(_BUGGY, config).run_suite(openacc10_suite())
+        )
+
+    def test_two_concurrent_run_suites_byte_identical_to_serial(self):
+        # two campaigns in one process, different configs, racing on
+        # separate threads: each must render exactly like its own serial
+        # equivalent (no shared mutable campaign state)
+        import threading
+
+        config_a = HarnessConfig(iterations=2, languages=("c",),
+                                 feature_prefixes=["loop", "parallel"])
+        config_b = HarnessConfig(iterations=1, languages=("c",),
+                                 feature_prefixes=["declare", "update"],
+                                 policy="thread", workers=2)
+        expected = {"a": self._csv(config_a), "b": self._csv(config_b)}
+        results: dict = {}
+
+        def campaign(name, config):
+            results[name] = self._csv(config)
+
+        threads = [
+            threading.Thread(target=campaign, args=("a", config_a)),
+            threading.Thread(target=campaign, args=("b", config_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == expected
+
+    def test_cancelling_one_concurrent_campaign_leaves_other_untouched(self):
+        # the tentpole scenario, in-process: campaign A is cancelled
+        # mid-flight, campaign B races it to completion and must render
+        # byte-identical to its serial reference
+        import threading
+
+        from repro.harness import CampaignInterrupted, CancelToken
+
+        config_a = HarnessConfig(iterations=5)  # big: both languages
+        config_b = HarnessConfig(iterations=1, languages=("c",),
+                                 feature_prefixes=["loop", "parallel"])
+        expected_b = self._csv(config_b)
+        token_a = CancelToken()
+        started = threading.Event()
+        outcome: dict = {}
+
+        def campaign_a():
+            runner = ValidationRunner(_BUGGY, config_a)
+            live = runner.live
+
+            class _Probe:
+                def emit(self, record):
+                    started.set()
+
+                def close(self, final=None):
+                    pass
+
+            from repro.obs.live import LiveTelemetry
+
+            runner.live = LiveTelemetry([_Probe()])
+            try:
+                runner.run_suite(openacc10_suite(), cancel=token_a)
+                outcome["a"] = "finished"
+            except CampaignInterrupted:
+                outcome["a"] = "interrupted"
+            finally:
+                runner.live = live
+
+        def campaign_b():
+            outcome["b"] = self._csv(config_b)
+
+        thread_a = threading.Thread(target=campaign_a)
+        thread_b = threading.Thread(target=campaign_b)
+        thread_a.start()
+        assert started.wait(timeout=60)  # A is genuinely mid-flight
+        thread_b.start()
+        token_a.cancel("cancel A, not B")
+        thread_a.join()
+        thread_b.join()
+        assert outcome["a"] == "interrupted"
+        assert outcome["b"] == expected_b

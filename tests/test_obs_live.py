@@ -705,3 +705,56 @@ def test_committed_history_parses_and_renders():
         assert entry["git_sha"]
     page = render_perf_html(entries)
     assert entries[-1]["git_sha"] in page
+
+
+def test_cli_obs_tail_follow_idle_timeout_exits_1(tmp_path, capsys):
+    # a follower of a dead campaign must not hang forever: without new
+    # data for --idle-timeout-s it gives up with exit 1
+    stream = tmp_path / "dead.ndjson"
+    telemetry = LiveTelemetry([NDJSONStreamSink(str(stream))])
+    telemetry.begin(total_units=2, command="test")
+    telemetry.event("unit.finished", **_unit_event()["fields"])
+    # no .end(): the writer died — the stream has no final snapshot
+    assert main(["obs", "tail", str(stream), "--follow",
+                 "--poll-s", "0.01", "--idle-timeout-s", "0.1"]) == 1
+    captured = capsys.readouterr()
+    assert "unit.finished" in captured.out
+    assert "no new stream data" in captured.err
+
+
+def test_cli_obs_tail_follow_idle_timeout_covers_missing_file(
+        tmp_path, capsys):
+    # a path that never appears also trips the idle budget
+    assert main(["obs", "tail", str(tmp_path / "never.ndjson"), "--follow",
+                 "--poll-s", "0.01", "--idle-timeout-s", "0.1"]) == 1
+    assert "no new stream data" in capsys.readouterr().err
+
+
+def test_cli_obs_tail_follow_detects_shrinking_file(tmp_path, capsys):
+    # rotation/truncation: the writer replaced the stream with a shorter
+    # file; the follower must restart from offset 0 instead of silently
+    # waiting at a stale offset forever
+    import threading
+    import time as _time
+
+    stream = tmp_path / "rotated.ndjson"
+    telemetry = LiveTelemetry([NDJSONStreamSink(str(stream))])
+    telemetry.begin(total_units=100, command="test")
+    for _ in range(60):  # long enough that the rewrite below shrinks it
+        telemetry.event("unit.finished", **_unit_event()["fields"])
+    # no final snapshot yet — the follower keeps following
+
+    def rotate():
+        _time.sleep(0.3)
+        _write_stream(stream)  # a fresh, shorter stream ending in FINAL
+
+    rotator = threading.Thread(target=rotate)
+    rotator.start()
+    try:
+        assert main(["obs", "tail", str(stream), "--follow",
+                     "--poll-s", "0.01", "--idle-timeout-s", "30"]) == 0
+    finally:
+        rotator.join()
+    captured = capsys.readouterr()
+    assert "shrank" in captured.err
+    assert "FINAL" in captured.out

@@ -1,0 +1,320 @@
+"""Tests for :mod:`repro.sched`: scheduler backends and the sharded
+journal.
+
+The central property, inherited from the engine layer: every backend —
+``local`` (policy engines), ``shards`` (work stealing), ``simk8s`` (the
+simulated k8s control plane) — renders *byte-identical* reports for the
+same configuration, because template order and per-iteration seeds
+derive from the config and never from scheduling.  On top of that each
+backend owns distinct failure semantics: shards respawn dead workers
+and fall back to serial execution, the simk8s controller degrades a job
+that keeps failing to a HARNESS_ERROR row instead of hanging.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompilerBehavior
+from repro.faults import FaultPlan
+from repro.harness import (
+    HarnessConfig,
+    ValidationRunner,
+    render_csv,
+    render_text,
+)
+from repro.harness.engine import CancelToken, CampaignInterrupted
+from repro.harness.runner import FailureKind
+from repro.journal import JournalError
+from repro.sched import (
+    SCHEDULERS,
+    JobSpec,
+    LocalBackend,
+    ShardedJournal,
+    ShardsBackend,
+    ShardsEngine,
+    SimK8sBackend,
+    SimK8sCluster,
+    SimK8sEngine,
+    create_backend,
+)
+from repro.sched.shards import route_unit, segment_path
+from repro.sched.simk8s import POD_FAILED, POD_SUCCEEDED
+from repro.suite import openacc10_suite
+
+#: a behaviour exercising passes, wrong values and compile errors at once
+_BUGGY = CompilerBehavior(
+    name="buggy", version="x",
+    broken_reductions=frozenset({"+"}),
+    unsupported_directives=frozenset({"declare"}),
+)
+
+
+def _config(**kwargs) -> HarnessConfig:
+    defaults = dict(iterations=2, languages=("c",),
+                    feature_prefixes=["loop", "declare", "parallel"])
+    defaults.update(kwargs)
+    return HarnessConfig(**defaults)
+
+
+def _backend_report(backend, config, **kwargs):
+    return backend.run(_BUGGY, config, openacc10_suite(), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert SCHEDULERS == ("local", "shards", "simk8s")
+
+    def test_create_backend_types(self):
+        assert isinstance(create_backend("local"), LocalBackend)
+        assert isinstance(create_backend("shards", workers=3), ShardsBackend)
+        assert isinstance(create_backend("simk8s", workers=3), SimK8sBackend)
+
+    def test_create_backend_workers_mapping(self):
+        assert create_backend("shards", workers=5).shards == 5
+        assert create_backend("simk8s", workers=5).pods == 5
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler backend"):
+            create_backend("slurm")
+
+    def test_local_defers_pool_shape_to_config(self):
+        engine = LocalBackend().engine(_config(policy="thread", workers=3))
+        assert engine.policy == "thread" and engine.workers == 3
+
+    def test_bad_pool_shapes_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardsEngine(shards=0)
+        with pytest.raises(ValueError, match="pods"):
+            SimK8sCluster(0, lambda: None)
+
+
+# ---------------------------------------------------------------------------
+# cross-backend determinism (satellite: byte-identical reports)
+# ---------------------------------------------------------------------------
+
+
+class TestCrossBackendIdentical:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return ValidationRunner(_BUGGY, _config()).run_suite(
+            openacc10_suite()
+        )
+
+    @pytest.mark.parametrize("name,workers", [
+        ("local", None), ("shards", 3), ("simk8s", 3),
+    ])
+    def test_reports_byte_identical(self, serial_report, name, workers):
+        backend = create_backend(name, workers=workers)
+        report = _backend_report(backend, _config())
+        assert render_csv(report) == render_csv(serial_report)
+        assert render_text(report) == render_text(serial_report)
+
+    def test_cancelling_one_campaign_leaves_another_untouched(
+            self, serial_report):
+        # per-campaign tokens: a cancelled campaign's neighbour, running
+        # on the same backend type, renders byte-identical regardless
+        doomed = CancelToken()
+        doomed.cancel("test")
+        backend = create_backend("shards", workers=2)
+        with pytest.raises(CampaignInterrupted):
+            _backend_report(backend, _config(), cancel=doomed)
+        report = _backend_report(backend, _config(), cancel=CancelToken())
+        assert render_csv(report) == render_csv(serial_report)
+
+
+# ---------------------------------------------------------------------------
+# shards: respawn, serial fallback, persistent faults
+# ---------------------------------------------------------------------------
+
+
+class TestShards:
+    def test_shard_death_respawn_heals_byte_identical(self):
+        # transient worker faults kill shard threads mid-campaign; the
+        # respawned shards (bumped attempt) finish the suite and the
+        # report matches a clean serial run exactly
+        clean = ValidationRunner(_BUGGY, _config()).run_suite(
+            openacc10_suite()
+        )
+        faulty = _config(
+            fault_plan=FaultPlan.parse("worker=0.5,seed=7"), retries=2
+        )
+        report = _backend_report(ShardsBackend(shards=3), faulty)
+        assert render_csv(report) == render_csv(clean)
+
+    def test_persistent_iteration_faults_degrade_not_hang(self):
+        # a unit whose every attempt crashes must exhaust its retry
+        # budget and land as a HARNESS_ERROR row — the campaign completes
+        config = _config(
+            feature_prefixes=["loop.collapse"],
+            fault_plan=FaultPlan.parse("iteration=1.0,persistent,seed=3"),
+            retries=1,
+        )
+        report = _backend_report(ShardsBackend(shards=2), config)
+        kinds = report.by_failure_kind()
+        assert kinds.get(FailureKind.HARNESS_ERROR)
+        assert len(report.results) == len(report.failures())
+
+    def test_persistent_worker_faults_complete_via_serial_fallback(self):
+        # every shard attempt dies -> the death budget trips and the
+        # coordinator runs the remainder serially (where worker faults
+        # cannot fire), so the campaign still completes with clean rows
+        clean = ValidationRunner(_BUGGY, _config()).run_suite(
+            openacc10_suite()
+        )
+        config = _config(
+            fault_plan=FaultPlan.parse("worker=1.0,persistent,seed=5")
+        )
+        report = _backend_report(ShardsBackend(shards=2), config)
+        assert render_csv(report) == render_csv(clean)
+
+
+# ---------------------------------------------------------------------------
+# simk8s: the control plane
+# ---------------------------------------------------------------------------
+
+
+class TestSimK8s:
+    def test_pod_failure_degrades_to_harness_error_not_hang(self):
+        # a controller cannot run work "in the parent" on a remote node:
+        # once a job exceeds max_pod_failures the unit degrades to a
+        # HARNESS_ERROR row carrying the pod's last log line
+        config = _config(
+            feature_prefixes=["loop.collapse"],
+            fault_plan=FaultPlan.parse("worker=1.0,persistent,seed=5"),
+        )
+        report = _backend_report(SimK8sBackend(pods=2), config)
+        kinds = report.by_failure_kind()
+        assert kinds.get(FailureKind.HARNESS_ERROR) == len(report.results)
+        details = [r.functional.harness_error for r in report.results
+                   if r.functional is not None]
+        assert any("injected worker fault" in (d or "") for d in details)
+
+    def test_transient_pod_failures_heal_byte_identical(self):
+        clean = ValidationRunner(_BUGGY, _config()).run_suite(
+            openacc10_suite()
+        )
+        config = _config(
+            fault_plan=FaultPlan.parse("worker=0.5,seed=7"), retries=2
+        )
+        report = _backend_report(SimK8sBackend(pods=3), config)
+        assert render_csv(report) == render_csv(clean)
+
+    def test_cancelled_token_interrupts_promptly(self):
+        token = CancelToken()
+        token.cancel("test")
+        with pytest.raises(CampaignInterrupted):
+            _backend_report(SimK8sBackend(pods=2), _config(), cancel=token)
+
+    def test_cluster_api_lifecycle(self):
+        # drive the cluster directly: submission, phase transitions, log
+        # collection, duplicate rejection, deletion
+        runner = ValidationRunner(_BUGGY, _config())
+        engine = SimK8sEngine(pods=1)
+        cluster = SimK8sCluster(
+            1, engine._pod_runner_factory(runner, CancelToken())
+        )
+        suite = [t for t in openacc10_suite()
+                 if t.language == "c"][:1]
+        spec = JobSpec(name="repro-job0000-a0", index=0, template=suite[0])
+        cluster.submit(spec)
+        with pytest.raises(ValueError, match="already exists"):
+            cluster.submit(JobSpec(name="repro-job0000-a0", index=0,
+                                   template=suite[0]))
+        try:
+            for _ in range(2000):
+                phase = cluster.poll()["repro-job0000-a0"]
+                if phase in (POD_SUCCEEDED, POD_FAILED):
+                    break
+            assert phase == POD_SUCCEEDED
+            logs = cluster.logs("repro-job0000-a0")
+            assert "created" in logs and "completed" in logs
+            assert cluster.result("repro-job0000-a0") is not None
+            assert cluster.worker("repro-job0000-a0").startswith("pod-")
+            cluster.delete("repro-job0000-a0")
+            assert "repro-job0000-a0" not in cluster.poll()
+        finally:
+            cluster.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# the sharded journal
+# ---------------------------------------------------------------------------
+
+
+_CAMPAIGN = {"format": "repro.journal/v1", "command": "test",
+             "code_version": "x"}
+
+
+class TestShardedJournal:
+    def test_append_routes_by_stable_hash(self, tmp_path):
+        base = str(tmp_path / "c.journal")
+        journal = ShardedJournal.create(base, dict(_CAMPAIGN), shards=3)
+        units = [f"feature.{i}:c" for i in range(12)]
+        for unit in units:
+            journal.append(unit, {"unit": unit})
+        for unit in units:
+            segment = journal.writers[route_unit(unit, 3)]
+            assert segment.get(unit) == {"unit": unit}
+        assert set(journal.records) == set(units)
+        journal.close()
+
+    def test_get_scans_all_segments_on_route_miss(self, tmp_path):
+        base = str(tmp_path / "c.journal")
+        journal = ShardedJournal.create(base, dict(_CAMPAIGN), shards=2)
+        # plant a record in the "wrong" segment, as a resume with a
+        # different shard count would
+        unit = "loop.gang:c"
+        wrong = (route_unit(unit, 2) + 1) % 2
+        journal.writers[wrong].append(unit, {"unit": unit})
+        assert journal.get(unit) == {"unit": unit}
+        assert journal.get("no.such:c") is None
+        journal.close()
+
+    def test_resume_roundtrip(self, tmp_path):
+        base = str(tmp_path / "c.journal")
+        journal = ShardedJournal.create(base, dict(_CAMPAIGN), shards=2)
+        journal.append("a:c", {"unit": "a:c"})
+        journal.append("b:c", {"unit": "b:c"})
+        journal.close()
+        resumed = ShardedJournal.resume(base, dict(_CAMPAIGN))
+        assert set(resumed.records) == {"a:c", "b:c"}
+        assert len(resumed.writers) == 2
+        resumed.close()
+
+    def test_resume_without_segments_fails_loudly(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal segments"):
+            ShardedJournal.resume(str(tmp_path / "nope.journal"),
+                                  dict(_CAMPAIGN))
+
+    def test_resume_rejects_campaign_mismatch(self, tmp_path):
+        base = str(tmp_path / "c.journal")
+        ShardedJournal.create(base, dict(_CAMPAIGN), shards=1).close()
+        other = dict(_CAMPAIGN, command="different")
+        with pytest.raises(JournalError):
+            ShardedJournal.resume(base, other)
+
+    def test_segment_paths(self):
+        assert segment_path("/x/c.journal", 2) == "/x/c.journal.shard2"
+
+    def test_backend_campaign_resumes_from_sharded_journal(self, tmp_path):
+        # end to end: a drained shard campaign resumes byte-identical
+        from repro.journal import validate_campaign_key
+
+        config = _config()
+        campaign = validate_campaign_key("1.0", _BUGGY, config)
+        base = str(tmp_path / "c.journal")
+        journal = ShardedJournal.create(base, campaign, shards=2)
+        clean = _backend_report(ShardsBackend(shards=2), config,
+                                journal=journal)
+        journal.close()
+        resumed_journal = ShardedJournal.resume(base, campaign)
+        resumed = _backend_report(ShardsBackend(shards=2), config,
+                                  journal=resumed_journal)
+        resumed_journal.close()
+        assert render_csv(resumed) == render_csv(clean)

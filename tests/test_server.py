@@ -1,0 +1,278 @@
+"""Tests for :mod:`repro.server`: the campaign server, its wire
+protocol and the client.
+
+The load-bearing scenarios, mirrored by the CI server-smoke job:
+concurrent campaigns render byte-identical to direct ``run_suite``
+runs; cancelling one campaign mid-flight leaves its neighbours
+untouched (the per-campaign CancelToken bugfix); a killed server
+resumes its in-flight campaigns from the server journal.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.harness import ValidationRunner, render_csv
+from repro.server import (
+    CampaignClient,
+    ProtocolError,
+    ServerError,
+    normalize_spec,
+    serve_in_thread,
+    state_exit_code,
+)
+from repro.server.protocol import (
+    spec_behavior,
+    spec_config,
+    spec_suite,
+)
+
+#: a fast campaign spec (~1s serial) shared across tests
+_SMALL = {
+    "suite": "1.0",
+    "format": "csv",
+    "config": {"iterations": 2, "languages": ["c"],
+               "feature_prefixes": ["loop", "parallel"]},
+}
+
+#: a slow campaign (full suite, both languages) for mid-flight cancels
+_BIG = {"suite": "1.0", "format": "csv", "config": {"iterations": 3}}
+
+
+def _direct_csv(spec: dict) -> str:
+    """The reference rendering: a plain serial run_suite of the spec."""
+    norm = normalize_spec(spec)
+    runner = ValidationRunner(spec_behavior(norm), spec_config(norm))
+    return render_csv(runner.run_suite(spec_suite(norm)))
+
+
+@pytest.fixture
+def server(tmp_path):
+    handle = serve_in_thread(str(tmp_path / "state"))
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+def _client(handle) -> CampaignClient:
+    return CampaignClient.at(handle.address)
+
+
+# ---------------------------------------------------------------------------
+# protocol (no server needed)
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_normalize_defaults(self):
+        spec = normalize_spec({})
+        assert spec["suite"] == "1.0"
+        assert spec["scheduler"] == "local"
+        assert spec["format"] == "text"
+        assert spec["config"]["iterations"] == 3
+
+    def test_normalized_config_roundtrips(self):
+        spec = normalize_spec(_SMALL)
+        again = normalize_spec(spec)
+        assert again == spec
+
+    @pytest.mark.parametrize("bad,match", [
+        ({"suite": "3.0"}, "unknown suite"),
+        ({"scheduler": "slurm"}, "unknown scheduler"),
+        ({"format": "pdf"}, "unknown format"),
+        ({"workers": 0}, "workers"),
+        ({"typo": True}, "unknown spec key"),
+        ({"vendor": "caps"}, "version"),
+        ({"vendor": "caps", "version": "3.0.7"}, "one language"),
+        ({"config": {"live_stream": "x.ndjson"}}, "server-managed"),
+        ({"config": {"iterationz": 1}}, "bad config"),
+    ])
+    def test_bad_specs_rejected(self, bad, match):
+        with pytest.raises(ProtocolError, match=match):
+            normalize_spec(bad)
+
+    def test_vendor_spec_with_single_language_accepted(self):
+        spec = normalize_spec({"vendor": "caps", "version": "3.0.7",
+                               "config": {"languages": ["c"]}})
+        assert spec_behavior(spec).name == "caps"
+
+    def test_exit_code_mapping(self):
+        assert state_exit_code("done", False) == 0
+        assert state_exit_code("done", True) == 2
+        assert state_exit_code("failed", None) == 1
+        assert state_exit_code("cancelled", None) == 3
+        assert state_exit_code("running", None) is None
+
+
+# ---------------------------------------------------------------------------
+# submit / status / tail against a live server
+# ---------------------------------------------------------------------------
+
+
+class TestServerRoundTrip:
+    def test_submit_renders_byte_identical_to_direct_run(self, server):
+        client = _client(server)
+        assert client.ping()["format"] == "repro.server/v1"
+        cid = client.submit(_SMALL)["id"]
+        info = client.wait(cid, timeout_s=120)
+        assert info["state"] == "done" and info["exit"] == 0
+        with open(info["report_path"], encoding="utf-8") as fh:
+            assert fh.read() == _direct_csv(_SMALL)
+
+    def test_sched_backend_submission(self, server):
+        client = _client(server)
+        spec = dict(_SMALL, scheduler="shards", workers=2)
+        cid = client.submit(spec)["id"]
+        info = client.wait(cid, timeout_s=120)
+        assert info["state"] == "done"
+        with open(info["report_path"], encoding="utf-8") as fh:
+            assert fh.read() == _direct_csv(_SMALL)
+        # the shard campaign journaled into per-shard segments
+        root = server.server.root
+        assert os.path.exists(os.path.join(root, f"{cid}.journal.shard0"))
+
+    def test_tail_replays_and_terminates(self, server):
+        client = _client(server)
+        cid = client.submit(_SMALL)["id"]
+        client.wait(cid, timeout_s=120)
+        lines = list(client.tail(cid))
+        assert lines[-1]["end"] and lines[-1]["state"] == "done"
+        records = [line["record"] for line in lines[:-1]]
+        kinds = {r.get("type") for r in records}
+        assert "event" in kinds and "snapshot" in kinds
+        assert records[-1]["type"] == "snapshot" and records[-1]["final"]
+        # live tail (subscribed before completion) sees the same stream
+        cid2 = client.submit(_SMALL)["id"]
+        live = list(client.tail(cid2, timeout_s=120))
+        assert live[-1]["end"] and live[-1]["state"] == "done"
+
+    def test_status_and_errors(self, server):
+        client = _client(server)
+        assert client.status()["campaigns"] == []
+        with pytest.raises(ServerError, match="no such campaign"):
+            client.status("c9999")
+        with pytest.raises(ServerError, match="no such campaign"):
+            client.cancel("c9999")
+        with pytest.raises(ServerError, match="unknown spec key"):
+            client.submit({"typo": 1})
+
+    def test_failures_map_to_exit_2(self, server):
+        client = _client(server)
+        spec = {
+            "suite": "1.0", "format": "csv",
+            "config": {"iterations": 1, "languages": ["c"],
+                       "feature_prefixes": ["loop.collapse"],
+                       "fault_plan": "iteration=1.0,persistent,seed=3"},
+        }
+        cid = client.submit(spec)["id"]
+        info = client.wait(cid, timeout_s=120)
+        assert info["state"] == "done" and info["exit"] == 2
+
+
+# ---------------------------------------------------------------------------
+# concurrency + cancellation (the tentpole scenario)
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentCancellation:
+    def test_cancel_one_of_three_leaves_neighbours_byte_identical(
+            self, server):
+        client = _client(server)
+        doomed = client.submit(_BIG)["id"]
+        small_alt = dict(_SMALL, config=dict(_SMALL["config"], iterations=1))
+        survivor_a = client.submit(_SMALL)["id"]
+        survivor_b = client.submit(small_alt)["id"]
+        # let the doomed campaign actually start running before cancelling
+        deadline = time.monotonic() + 30
+        while client.status(doomed)["campaign"]["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        response = client.cancel(doomed)
+        assert doomed in response["resume"]
+
+        info = client.wait(doomed, timeout_s=120)
+        assert info["state"] == "cancelled" and info["exit"] == 3
+        assert doomed in info["resume"]
+        for cid, spec in ((survivor_a, _SMALL), (survivor_b, small_alt)):
+            done = client.wait(cid, timeout_s=300)
+            assert done["state"] == "done", f"{cid} not done: {done}"
+            with open(done["report_path"], encoding="utf-8") as fh:
+                assert fh.read() == _direct_csv(spec)
+
+    def test_cancelled_campaign_resubmits_to_completion(self, server):
+        client = _client(server)
+        cid = client.submit(_BIG)["id"]
+        deadline = time.monotonic() + 30
+        while client.status(cid)["campaign"]["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        client.cancel(cid)
+        info = client.wait(cid, timeout_s=120)
+        assert info["state"] == "cancelled"
+        before = len(
+            __import__("repro.journal", fromlist=["read_journal"])
+            .read_journal(os.path.join(server.server.root,
+                                       f"{cid}.journal")).records
+        ) if os.path.exists(os.path.join(server.server.root,
+                                         f"{cid}.journal")) else 0
+        client.resubmit(cid)
+        done = client.wait(cid, timeout_s=600)
+        assert done["state"] == "done" and done["exit"] == 0
+        with open(done["report_path"], encoding="utf-8") as fh:
+            assert fh.read() == _direct_csv(_BIG)
+        # the resubmission replayed journaled units instead of starting over
+        if before:
+            final = list(client.tail(cid))
+            records = [line["record"] for line in final[:-1]]
+            snapshots = [r for r in records if r.get("type") == "snapshot"]
+            assert snapshots[-1]["replayed"] >= before
+
+    def test_double_cancel_rejected(self, server):
+        client = _client(server)
+        cid = client.submit(_SMALL)["id"]
+        client.wait(cid, timeout_s=120)
+        with pytest.raises(ServerError, match="already done"):
+            client.cancel(cid)
+        with pytest.raises(ServerError, match="only"):
+            # a running/queued campaign cannot be resubmitted; a done one
+            # can (it reruns) — exercise the state guard via fresh submit
+            fresh = client.submit(_BIG)["id"]
+            try:
+                client.resubmit(fresh)
+            finally:
+                client.cancel(fresh)
+
+
+# ---------------------------------------------------------------------------
+# server-kill resume (the journal story)
+# ---------------------------------------------------------------------------
+
+
+class TestServerResume:
+    def test_killed_server_resumes_campaigns(self, tmp_path):
+        root = str(tmp_path / "state")
+        handle = serve_in_thread(root)
+        client = _client(handle)
+        cid = client.submit(_BIG)["id"]
+        deadline = time.monotonic() + 30
+        while client.status(cid)["campaign"]["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        # graceful drain: the campaign is re-journaled as queued, NOT
+        # cancelled, so the next server over this directory picks it up
+        handle.stop()
+
+        handle2 = serve_in_thread(root)
+        try:
+            client2 = _client(handle2)
+            info = client2.wait(cid, timeout_s=600)
+            assert info["state"] == "done" and info["exit"] == 0
+            with open(info["report_path"], encoding="utf-8") as fh:
+                assert fh.read() == _direct_csv(_BIG)
+        finally:
+            handle2.stop()
