@@ -642,6 +642,8 @@ def cmd_obs(args) -> int:
 
 
 def cmd_journal(args) -> int:
+    if args.journal_command == "fsck":
+        return _journal_fsck(args)
     from repro.journal import JournalError, read_journal
 
     try:
@@ -670,13 +672,31 @@ def cmd_journal(args) -> int:
     return 0
 
 
+def _journal_fsck(args) -> int:
+    """Crash-consistency check: exit 0 when every file is clean or only
+    torn at the tail (a resume salvages it), 1 on corruption or a
+    campaign-key mismatch between segments."""
+    from repro.journal import fsck_journal, render_fsck
+
+    report = fsck_journal(args.file)
+    print(render_fsck(report))
+    if args.units:
+        for unit in sorted(report.salvageable_units()):
+            print(f"  {unit}")
+    return 0 if report.resumable else 1
+
+
 def cmd_serve(args) -> int:
     import asyncio
 
     from repro.server import CampaignServer
 
     server = CampaignServer(args.root, host=args.host, port=args.port,
-                            max_concurrent=args.max_concurrent)
+                            max_concurrent=args.max_concurrent,
+                            watchdog_s=args.watchdog_s,
+                            restart_budget=args.restart_budget,
+                            tail_buffer=args.tail_buffer,
+                            fault_plan=args.inject_faults)
 
     async def _main() -> None:
         await server.start()
@@ -722,6 +742,12 @@ def cmd_submit(args) -> int:
                 config["languages"] = [args.language]
             if args.features:
                 config["feature_prefixes"] = args.features
+            if args.retries:
+                config["retries"] = args.retries
+            if args.inject_faults is not None:
+                # travels as the canonical spec string; the server parses
+                # it back into the campaign's FaultPlan
+                config["fault_plan"] = args.inject_faults.describe()
             response = client.submit({
                 "suite": args.suite,
                 "vendor": args.vendor,
@@ -810,6 +836,12 @@ def cmd_tail(args) -> int:
             if payload.get("end"):
                 state = payload["state"]
                 print(f"campaign {args.id} {state}", file=sys.stderr)
+                dropped = ((payload.get("dropped") or 0)
+                           + (payload.get("replay_dropped") or 0))
+                if dropped:
+                    print(f"note: {dropped} record(s) dropped (slow "
+                          "subscriber / late tail); the full stream is in "
+                          "the server's <id>.ndjson", file=sys.stderr)
                 if payload.get("resume"):
                     print(f"resume with: {payload['resume']}",
                           file=sys.stderr)
@@ -933,8 +965,9 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SPEC",
                    help="deterministic fault injection, e.g. "
                         "'worker=0.5,iteration=0.2,seed=7' (sites: compile, "
-                        "iteration, worker, stall, journal; modifiers: seed, "
-                        "stall-s, max-fires, persistent)")
+                        "iteration, worker, stall, journal, shard_death, "
+                        "pod, conn, frame, slow_client, segment; modifiers: "
+                        "seed, stall-s, max-fires, persistent)")
     p.add_argument("--trace", metavar="FILE",
                    help="record a span/event/metrics trace to FILE (JSONL)")
     p.add_argument("--profile", action="store_true",
@@ -990,6 +1023,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-concurrent", type=_positive_int, default=2,
                    metavar="N",
                    help="campaigns run at once; further submissions queue")
+    p.add_argument("--watchdog-s", type=_positive_float, default=None,
+                   metavar="SECONDS", dest="watchdog_s",
+                   help="per-campaign liveness watchdog: a running campaign "
+                        "emitting no live record for this long is cancelled "
+                        "and re-queued (journaled units replay); off by "
+                        "default")
+    p.add_argument("--restart-budget", type=_nonnegative_int, default=2,
+                   metavar="N", dest="restart_budget",
+                   help="watchdog restarts tolerated per campaign before it "
+                        "is marked failed with a resume hint (default 2)")
+    p.add_argument("--tail-buffer", type=_positive_int, default=512,
+                   metavar="N", dest="tail_buffer",
+                   help="per-subscriber tail queue capacity; a slow client "
+                        "loses oldest records past this and sees the drop "
+                        "count on its end line (default 512)")
+    p.add_argument("--inject-faults", type=_fault_plan, default=None,
+                   metavar="SPEC", dest="inject_faults",
+                   help="arm the server-side chaos sites (conn, frame, "
+                        "slow_client) against the wire protocol, e.g. "
+                        "'conn=1.0,frame=1.0,seed=9' — the chaos-smoke "
+                        "harness; campaign-side sites travel in "
+                        "'repro submit --inject-faults' instead")
 
     def _server_flag(p) -> None:
         p.add_argument("--server", default="127.0.0.1:7781",
@@ -1018,6 +1073,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sched backend the server runs the campaign on")
     p.add_argument("--workers", type=_positive_int, default=None, metavar="N",
                    help="pool/shard/pod count for the chosen scheduler")
+    p.add_argument("--retries", type=_nonnegative_int, default=0,
+                   metavar="R",
+                   help="per-unit retry budget inside the campaign (lets "
+                        "transient injected faults heal in place)")
+    p.add_argument("--inject-faults", type=_fault_plan, default=None,
+                   metavar="SPEC", dest="inject_faults",
+                   help="arm the campaign-side fault sites inside the "
+                        "server-hosted run (compile, iteration, worker, "
+                        "stall, journal, shard_death, pod, segment), e.g. "
+                        "'shard_death=1.0,segment=1.0,seed=29'")
     p.add_argument("--wait", action="store_true",
                    help="block until the campaign finishes and exit with "
                         "its validate-compatible exit code")
@@ -1051,6 +1116,16 @@ def build_parser() -> argparse.ArgumentParser:
     ji.add_argument("file")
     ji.add_argument("--units", action="store_true",
                     help="also list the journaled unit keys")
+    jf = jsub.add_parser("fsck",
+                         help="crash-consistency check of a base journal "
+                              "plus all <base>.shardK segments: checksums, "
+                              "torn tails, cross-segment campaign keys, and "
+                              "what a resume would salvage (exit 1 on "
+                              "corruption)")
+    jf.add_argument("file", help="journal path (the --journal value; shard "
+                                 "segments are found automatically)")
+    jf.add_argument("--units", action="store_true",
+                    help="also list the salvageable unit keys")
 
     p = sub.add_parser("trace", help="inspect a recorded trace file")
     tsub = p.add_subparsers(dest="trace_command", required=True)

@@ -15,7 +15,9 @@ including mid-journal-write — and resumed to a byte-identical report.
   for :class:`~repro.harness.runner.TestResult` / Titan stack checks.
 
 CLI surface: ``repro validate --journal FILE`` / ``--resume FILE`` (same
-for ``repro titan``) and ``repro journal inspect FILE``.
+for ``repro titan``), ``repro journal inspect FILE`` and ``repro journal
+fsck FILE`` (crash-consistency check across a base journal plus all
+``<base>.shardK`` segments; see :mod:`repro.journal.fsck`).
 """
 
 from repro.journal.wal import (
@@ -27,6 +29,13 @@ from repro.journal.wal import (
     LoadedJournal,
     read_journal,
     record_line,
+)
+from repro.journal.fsck import (
+    FileFsck,
+    FsckReport,
+    fsck_journal,
+    render_fsck,
+    scan_journal_file,
 )
 from repro.journal.codec import (
     canonicalize,
@@ -45,6 +54,8 @@ __all__ = [
     "JOURNAL_FORMAT",
     "JournalCorruptError", "JournalError", "JournalMismatchError",
     "JournalWriter", "LoadedJournal", "read_journal", "record_line",
+    "FileFsck", "FsckReport", "fsck_journal", "render_fsck",
+    "scan_journal_file",
     "canonicalize", "config_fingerprint",
     "decode_check", "decode_result", "encode_check", "encode_result",
     "template_map", "titan_campaign_key", "unit_keys",

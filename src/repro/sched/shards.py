@@ -119,7 +119,9 @@ class ShardsEngine:
                     index, attempt = item
                     template = templates[index]
                     unit_key = f"{template.feature}:{template.language}"
-                    if shard_runner.faults.worker_site(unit_key, attempt):
+                    if (shard_runner.faults.worker_site(unit_key, attempt)
+                            or shard_runner.faults.shard_site(unit_key,
+                                                              attempt)):
                         # injected shard death: the thread exits mid-unit,
                         # exactly like a node dropping off the network
                         completions.put(("died", shard_id, index))
@@ -322,7 +324,25 @@ class ShardedJournal:
         return None
 
     def append(self, unit: str, payload: dict) -> None:
-        self.writers[route_unit(unit, len(self.writers))].append(unit, payload)
+        writer = self.writers[route_unit(unit, len(self.writers))]
+        if writer.faults.segment_site(unit, writer.generation):
+            # injected segment corruption: trailing garbage lands in the
+            # routed segment (no newline, so the torn-tail rule can heal
+            # it on resume) and the simulated crash escapes like the
+            # shard's node dying mid-write
+            import os
+
+            from repro.faults import InjectedSegmentCorruption
+
+            with open(writer.path, "ab") as handle:
+                handle.write(b"\x00\xff\xfe injected segment corruption")
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise InjectedSegmentCorruption(
+                f"injected segment corruption (unit={unit!r}, "
+                f"segment={writer.path!r}, generation={writer.generation})"
+            )
+        writer.append(unit, payload)
 
     def close(self) -> None:
         for writer in self.writers:

@@ -172,9 +172,11 @@ class SimK8sCluster:
         template = spec.template
         unit_key = f"{template.feature}:{template.language}"
         try:
-            if runner.faults.worker_site(unit_key, spec.attempt):
+            worker_fired = runner.faults.worker_site(unit_key, spec.attempt)
+            if worker_fired or runner.faults.pod_site(unit_key, spec.attempt):
                 # injected pod death (the OOMKilled of this simulation)
-                self._log(name, "pod killed by injected worker fault "
+                label = "worker" if worker_fired else "pod"
+                self._log(name, f"pod killed by injected {label} fault "
                                 f"(attempt {spec.attempt})")
                 self._set_phase(name, POD_FAILED)
                 return

@@ -4,15 +4,33 @@ One TCP connection per operation (the protocol is single-request,
 except ``tail`` which streams until the server sends its end line), so
 the client needs no connection state and works from scripts, tests and
 the CLI alike.
+
+Resilience: every transport failure — refused/reset connections, a
+socket timeout, the server closing mid-frame, a garbled response line —
+normalizes to :class:`ConnectionError` (or ``socket.timeout``), and
+every operation retries those with exponential backoff plus
+deterministic jitter through an injectable ``sleeper`` (the same
+pattern as ``run_unit_resilient``).  A retried ``submit`` marks itself
+``idempotent`` so a server that *did* enqueue the lost first attempt
+dedups instead of running the campaign twice; a reconnecting ``tail``
+dedups replayed records by ``seq``.  Protocol-level refusals
+(``{"ok": false}``) stay :class:`ServerError` and are never retried —
+the server answered; asking again would not change its mind.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Callable, Iterator, Optional, Tuple
 
 from repro.server.protocol import ProtocolError, decode_line, encode_line
+
+#: transport failures worth retrying; everything else is an answer
+TRANSIENT_ERRORS = (ConnectionError, socket.timeout)
+
+_TERMINAL = ("done", "failed", "cancelled")
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -30,17 +48,32 @@ class ServerError(RuntimeError):
 
 
 class CampaignClient:
-    """Blocking ``repro.server/v1`` client."""
+    """Blocking ``repro.server/v1`` client with transient-fault retry."""
 
-    def __init__(self, host: str, port: int, timeout_s: float = 60.0):
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0,
+                 retries: int = 3, backoff_s: float = 0.1,
+                 jitter_seed: int = 0,
+                 sleeper: Callable[[float], None] = time.sleep):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0 (got {retries})")
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0 (got {backoff_s})")
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        #: transient-error retries per operation (total attempts = retries+1)
+        self.retries = retries
+        self.backoff_s = backoff_s
+        #: seeds the deterministic backoff jitter (tests pin it)
+        self.jitter_seed = jitter_seed
+        #: injectable clock: tests pass a recording stub and pay no wall time
+        self.sleeper = sleeper
 
     @classmethod
-    def at(cls, address: str, timeout_s: float = 60.0) -> "CampaignClient":
+    def at(cls, address: str, timeout_s: float = 60.0,
+           **kwargs) -> "CampaignClient":
         host, port = parse_address(address)
-        return cls(host, port, timeout_s=timeout_s)
+        return cls(host, port, timeout_s=timeout_s, **kwargs)
 
     # ------------------------------------------------------------- transport
 
@@ -55,43 +88,112 @@ class CampaignClient:
             with sock.makefile("rb") as stream:
                 line = stream.readline()
         if not line:
-            raise ServerError("server closed the connection mid-request")
+            raise ConnectionError("server closed the connection mid-request")
         return self._checked(line)
 
     @staticmethod
     def _checked(line: bytes) -> dict:
+        if not line.endswith(b"\n"):
+            # a frame without its newline is a connection torn mid-write
+            raise ConnectionError(
+                f"server connection dropped mid-frame ({len(line)} byte(s) "
+                "of a torn response)"
+            )
         try:
             response = decode_line(line)
         except ProtocolError as err:
-            raise ServerError(f"malformed server response: {err}") from None
+            # an unparseable-but-complete frame is wire damage, not an
+            # answer: retrying gets a fresh frame
+            raise ConnectionError(
+                f"garbled server frame: {err}"
+            ) from None
         if not response.get("ok", True):
             raise ServerError(response.get("error", "unknown server error"))
         return response
 
+    # ---------------------------------------------------------------- retry
+
+    def _backoff(self, attempt: int, key: str) -> float:
+        """Exponential backoff with deterministic jitter: attempt ``n``
+        sleeps ``backoff_s * 2**n`` scaled by a jitter in [1.0, 1.5)
+        derived from ``(jitter_seed, key, attempt)`` — reproducible runs,
+        yet concurrent clients retrying the same server de-synchronize."""
+        jitter = random.Random(
+            f"{self.jitter_seed}|{key}|{attempt}"
+        ).random() * 0.5
+        return self.backoff_s * (2 ** attempt) * (1.0 + jitter)
+
+    def _retrying(self, op: Callable[[int], dict], key: str) -> dict:
+        """Run ``op(attempt)``, retrying transient transport failures."""
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            try:
+                return op(attempt)
+            except TRANSIENT_ERRORS as err:
+                last = err
+                if attempt >= self.retries:
+                    break
+                self.sleeper(self._backoff(attempt, key))
+        raise ConnectionError(
+            f"{key} failed after {self.retries + 1} attempt(s); "
+            f"last error: {last}"
+        ) from last
+
     # ------------------------------------------------------------------- ops
 
     def ping(self) -> dict:
-        return self._roundtrip({"op": "ping"})
+        return self._retrying(
+            lambda attempt: self._roundtrip({"op": "ping"}), "ping"
+        )
 
     def submit(self, spec: dict) -> dict:
-        return self._roundtrip({"op": "submit", "spec": spec})
+        def op(attempt: int) -> dict:
+            request = {"op": "submit", "spec": spec}
+            if attempt:
+                # the first attempt's response was lost: the server may or
+                # may not have enqueued it — ask for dedup by campaign key
+                request["idempotent"] = True
+            return self._roundtrip(request)
+
+        return self._retrying(op, "submit")
 
     def resubmit(self, cid: str) -> dict:
-        return self._roundtrip({"op": "submit", "resume": cid})
+        def op(attempt: int) -> dict:
+            if attempt:
+                # if the lost first attempt landed, the campaign is already
+                # requeued and a second resume would be refused as
+                # "campaign is queued": check before resubmitting
+                info = self._roundtrip({"op": "status", "id": cid})["campaign"]
+                if info["state"] not in _TERMINAL:
+                    return {"ok": True, "id": cid, "state": info["state"],
+                            "deduped": True}
+            return self._roundtrip({"op": "submit", "resume": cid})
+
+        return self._retrying(op, f"resubmit:{cid}")
 
     def status(self, cid: Optional[str] = None) -> dict:
         request: dict = {"op": "status"}
         if cid is not None:
             request["id"] = cid
-        return self._roundtrip(request)
+        return self._retrying(
+            lambda attempt: self._roundtrip(request), "status"
+        )
 
     def cancel(self, cid: str) -> dict:
-        return self._roundtrip({"op": "cancel", "id": cid})
+        # deliberately not retried past the roundtrip: a lost cancel
+        # response means the cancel may have landed, and the follow-up
+        # status (which IS retried) reports the truth
+        return self._retrying(
+            lambda attempt: self._roundtrip({"op": "cancel", "id": cid}),
+            f"cancel:{cid}",
+        )
 
-    def tail(self, cid: str,
-             timeout_s: Optional[float] = None) -> Iterator[dict]:
-        """Yield ``{"record": ...}`` lines then the final ``{"end": ...}``
-        line.  Blocks until the campaign reaches a terminal state."""
+    # ------------------------------------------------------------------ tail
+
+    def _tail_once(self, cid: str,
+                   timeout_s: Optional[float]) -> Iterator[dict]:
+        """One tail connection: yields payload lines until the end line
+        or a transport failure (which the reconnect loop handles)."""
         with self._connect() as sock:
             sock.settimeout(timeout_s if timeout_s is not None
                             else self.timeout_s)
@@ -99,31 +201,74 @@ class CampaignClient:
             with sock.makefile("rb") as stream:
                 ack = stream.readline()
                 if not ack:
-                    raise ServerError("server closed the tail stream "
-                                      "before acknowledging")
+                    raise ConnectionError(
+                        "server closed the tail stream before acknowledging"
+                    )
                 self._checked(ack)
                 for line in stream:
                     payload = self._checked(line)
                     yield payload
                     if payload.get("end"):
                         return
-        raise ServerError("tail stream ended without an end line")
+        raise ConnectionError("tail stream ended without an end line")
+
+    def tail(self, cid: str,
+             timeout_s: Optional[float] = None) -> Iterator[dict]:
+        """Yield ``{"record": ...}`` lines then the final ``{"end": ...}``
+        line.  Blocks until the campaign reaches a terminal state.
+
+        A dropped or garbled stream reconnects (up to ``retries`` times
+        per silence) and dedups the server's replay by record ``seq``,
+        so the caller sees each record once, in order, across
+        reconnects."""
+        last_seq = -1
+        failures = 0
+        while True:
+            try:
+                for payload in self._tail_once(cid, timeout_s):
+                    record = payload.get("record")
+                    if record is not None:
+                        seq = record.get("seq")
+                        if isinstance(seq, int):
+                            if seq <= last_seq:
+                                continue  # replayed on reconnect
+                            last_seq = seq
+                        failures = 0  # progress: reset the retry budget
+                    yield payload
+                    if payload.get("end"):
+                        return
+                raise ConnectionError("tail stream closed mid-stream")
+            except TRANSIENT_ERRORS as err:
+                failures += 1
+                if failures > self.retries:
+                    raise ConnectionError(
+                        f"tail:{cid} failed after {failures} consecutive "
+                        f"attempt(s); last error: {err}"
+                    ) from err
+                self.sleeper(self._backoff(failures - 1, f"tail:{cid}"))
 
     # ------------------------------------------------------------ conveniences
 
     def wait(self, cid: str, timeout_s: float = 300.0,
              poll_s: float = 0.05,
-             sleeper: Callable[[float], None] = time.sleep) -> dict:
+             sleeper: Optional[Callable[[float], None]] = None) -> dict:
         """Poll ``status`` until the campaign is terminal; returns its
-        info dict (``state``/``exit``/``report_path``/...)."""
+        info dict (``state``/``exit``/``report_path``/...).
+
+        The poll interval starts at ``poll_s`` and doubles up to 1s —
+        long campaigns are not busy-polled at the initial rate — and
+        each status call inherits the client's transient retry."""
+        sleeper = sleeper if sleeper is not None else self.sleeper
         deadline = time.monotonic() + timeout_s
+        delay = poll_s
         while True:
             info = self.status(cid)["campaign"]
-            if info["state"] in ("done", "failed", "cancelled"):
+            if info["state"] in _TERMINAL:
                 return info
             if time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"campaign {cid} still {info['state']} after "
                     f"{timeout_s:.0f}s"
                 )
-            sleeper(poll_s)
+            sleeper(delay)
+            delay = min(delay * 2.0, max(poll_s, 1.0))

@@ -42,8 +42,11 @@ from repro.journal import (
     canonicalize,
     decode_result,
     encode_result,
+    fsck_journal,
     read_journal,
     record_line,
+    render_fsck,
+    scan_journal_file,
     titan_campaign_key,
     unit_keys,
     validate_campaign_key,
@@ -444,6 +447,28 @@ class TestCliResume:
         assert main(["journal", "inspect", str(path)]) == 1
         assert "journal error" in capsys.readouterr().err
 
+    def test_journal_fsck_cli(self, tmp_path, capsys):
+        journal = str(tmp_path / "j.jsonl")
+        assert main(_validate_args(tmp_path, journal=journal)) == 0
+        capsys.readouterr()
+        # clean: exit 0, verdict on stdout, salvageable units listed
+        assert main(["journal", "fsck", journal, "--units"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "parallel.if:c" in out
+        # torn tail: still exit 0 (resume truncates it)
+        with open(journal, "ab") as handle:
+            handle.write(b"half a record")
+        assert main(["journal", "fsck", journal]) == 0
+        assert "salvageable" in capsys.readouterr().out
+        # mid-file corruption: exit 1, named verdict
+        with open(journal, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        lines[1] = b'{"tampered": true}\n'
+        with open(journal, "wb") as handle:
+            handle.writelines(lines)
+        assert main(["journal", "fsck", journal]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
     def test_titan_crash_then_resume_byte_identical(self, tmp_path, capsys):
         base_args = ["titan", "--nodes", "6", "--sample", "3"]
         assert main(base_args) == 0
@@ -518,3 +543,87 @@ class TestSigkillResume:
         assert healed.resumes == 1
         assert healed.torn_bytes == 0
         assert len(healed.records) >= already  # nothing was thrown away
+
+
+# ---------------------------------------------------------------------------
+# fsck: the diagnostic counterpart of the strict loader
+# ---------------------------------------------------------------------------
+
+
+class TestFsck:
+    def _journal(self, tmp_path, units=("a:c", "b:c")):
+        path = str(tmp_path / "c.journal")
+        writer = JournalWriter.create(path, CAMPAIGN)
+        for unit in units:
+            writer.append(unit, {"unit": unit})
+        writer.close()
+        return path
+
+    def test_clean_journal_is_clean(self, tmp_path):
+        path = self._journal(tmp_path)
+        report = fsck_journal(path)
+        assert report.clean and report.resumable
+        assert set(report.salvageable_units()) == {"a:c", "b:c"}
+        assert "clean" in render_fsck(report)
+
+    def test_torn_tail_is_salvageable_not_clean(self, tmp_path):
+        path = self._journal(tmp_path)
+        line = record_line({"type": "unit", "unit": "x:c", "payload": {}})
+        with open(path, "ab") as handle:
+            handle.write(line[: len(line) // 2])
+        report = fsck_journal(path)
+        assert not report.clean and report.resumable
+        scan = report.files[0]
+        assert scan.status == "torn"
+        assert scan.bad_bytes == len(line) // 2
+        assert "torn tail" in scan.detail
+        assert set(report.salvageable_units()) == {"a:c", "b:c"}
+        assert "salvageable" in render_fsck(report)
+        # the verdict matches what resume actually does
+        JournalWriter.resume(path, CAMPAIGN).close()
+        assert fsck_journal(path).resumable
+
+    def test_mid_file_corruption_reported_with_intact_prefix(self, tmp_path):
+        path = self._journal(tmp_path, units=("a:c", "b:c", "c:c"))
+        with open(path, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        lines[2] = lines[2].replace(b'"b:c"', b'"B:C"')  # breaks checksum
+        with open(path, "wb") as handle:
+            handle.writelines(lines)
+        report = fsck_journal(path)
+        assert not report.resumable
+        scan = report.files[0]
+        assert scan.status == "corrupt"
+        assert scan.first_bad_line == 3
+        assert "corruption" in scan.detail
+        # the intact prefix before the bad line is still counted
+        assert set(scan.records) == {"a:c"}
+        assert "CORRUPT" in render_fsck(report)
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)
+
+    def test_missing_and_headerless_files(self, tmp_path):
+        missing = fsck_journal(str(tmp_path / "nope.journal"))
+        assert not missing.resumable
+        assert missing.files[0].status == "missing"
+        empty = tmp_path / "empty.journal"
+        empty.write_bytes(b"")
+        scan = scan_journal_file(str(empty))
+        assert scan.status == "corrupt" and "empty" in scan.detail
+
+    def test_cross_segment_campaign_mismatch_flagged(self, tmp_path):
+        from repro.sched.shards import segment_path
+
+        path = self._journal(tmp_path)
+        other = dict(CAMPAIGN, suite="combinations")
+        stray = JournalWriter.create(segment_path(path, 0), other)
+        stray.append("z:c", {"unit": "z:c"})
+        stray.close()
+        report = fsck_journal(path)
+        assert not report.resumable
+        mismatched = [f for f in report.files if not f.campaign_matches]
+        assert len(mismatched) == 1
+        assert mismatched[0].path == segment_path(path, 0)
+        assert "campaign key differs" in mismatched[0].detail
+        # the mismatched segment's units are not salvage candidates
+        assert set(report.salvageable_units()) == {"a:c", "b:c"}

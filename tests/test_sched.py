@@ -25,7 +25,7 @@ from repro.harness import (
 )
 from repro.harness.engine import CancelToken, CampaignInterrupted
 from repro.harness.runner import FailureKind
-from repro.journal import JournalError
+from repro.journal import JournalCorruptError, JournalError
 from repro.sched import (
     SCHEDULERS,
     JobSpec,
@@ -318,3 +318,41 @@ class TestShardedJournal:
                                   journal=resumed_journal)
         resumed_journal.close()
         assert render_csv(resumed) == render_csv(clean)
+
+
+class TestCorruptedSegment:
+    def test_resume_names_corrupt_segment_fsck_salvages_the_rest(
+            self, tmp_path):
+        from repro.journal import fsck_journal
+
+        base = str(tmp_path / "c.journal")
+        journal = ShardedJournal.create(base, dict(_CAMPAIGN), shards=2)
+        units = [f"feature.{i}:c" for i in range(8)]
+        for unit in units:
+            journal.append(unit, {"unit": unit})
+        journal.close()
+        by_shard = {0: [], 1: []}
+        for unit in units:
+            by_shard[route_unit(unit, 2)].append(unit)
+        assert len(by_shard[0]) >= 2 and len(by_shard[1]) >= 2
+        # corrupt shard0 mid-file: tamper the first unit record while
+        # intact records remain after it — NOT a torn tail, so the strict
+        # loader must refuse the segment by name
+        victim = segment_path(base, 0)
+        with open(victim, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        tampered = by_shard[0][0].encode()
+        lines[1] = lines[1].replace(tampered, tampered.upper())
+        with open(victim, "wb") as handle:
+            handle.writelines(lines)
+        with pytest.raises(JournalCorruptError, match="shard0"):
+            ShardedJournal.resume(base, dict(_CAMPAIGN))
+        # fsck reports the damage without raising, and still counts the
+        # salvageable prefix of every other segment
+        report = fsck_journal(base)
+        assert not report.resumable
+        verdicts = {f.path: f.status for f in report.files}
+        assert verdicts[victim] == "corrupt"
+        assert verdicts[segment_path(base, 1)] == "ok"
+        salvage = set(report.salvageable_units())
+        assert salvage == set(by_shard[1])

@@ -276,3 +276,227 @@ class TestServerResume:
                 assert fh.read() == _direct_csv(_BIG)
         finally:
             handle2.stop()
+
+
+# ---------------------------------------------------------------------------
+# supervision: bounded tail queues + the campaign watchdog
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedTailQueue:
+    def test_drop_oldest_eviction_counts_drops(self):
+        from repro.server.app import BoundedTailQueue
+
+        queue = BoundedTailQueue(capacity=2)
+        for n in range(5):
+            queue.put(n)
+        assert queue.dropped == 3
+        # the two newest survive, in order
+        assert queue._queue.get_nowait() == 3
+        assert queue._queue.get_nowait() == 4
+
+    def test_capacity_validated(self):
+        from repro.server.app import BoundedTailQueue
+
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedTailQueue(capacity=0)
+
+    def test_server_knob_validation(self, tmp_path):
+        from repro.server.app import CampaignServer
+
+        with pytest.raises(ValueError, match="watchdog_s"):
+            CampaignServer(str(tmp_path), watchdog_s=0)
+        with pytest.raises(ValueError, match="restart_budget"):
+            CampaignServer(str(tmp_path), restart_budget=-1)
+
+
+#: three single-template prefixes, each unit stalling well past the
+#: watchdog on its first attempt (the third unit is what guarantees the
+#: budget-exhausted run still has un-started work to abandon)
+_STALLED = {
+    "suite": "1.0", "format": "csv",
+    "config": {"iterations": 1, "languages": ["c"],
+               "feature_prefixes": ["loop.collapse", "parallel.num_gangs",
+                                    "data.copyin"],
+               "fault_plan": "stall=1.0,stall-s=2.0,seed=5"},
+}
+
+
+class TestWatchdog:
+    def test_watchdog_requeues_then_gives_up_then_resume_heals(
+            self, tmp_path):
+        handle = serve_in_thread(str(tmp_path / "state"),
+                                 watchdog_s=0.75, restart_budget=1)
+        try:
+            client = _client(handle)
+            cid = client.submit(_STALLED)["id"]
+            # run 1: unit A stalls -> watchdog cancels + requeues (restart
+            # 1/1); the in-flight unit still completes and journals.
+            # run 2: unit A replays, unit B stalls -> the second fire
+            # exceeds the budget; unit B drains to the journal, unit C is
+            # never started, and the campaign fails with a resume hint.
+            info = client.wait(cid, timeout_s=120)
+            assert info["state"] == "failed" and info["exit"] == 1
+            assert info["restarts"] == 2
+            assert "watchdog" in info["error"]
+            assert "restart budget" in info["error"]
+            assert "resume" in info["error"]
+            assert cid in info["resume"]
+            # both stalled units finished during their drains, so the
+            # resubmission replays everything and renders byte-identical
+            # to a fault-free run of the spec (transient stalls never
+            # change results, only wall-clock)
+            clean = dict(_STALLED,
+                         config={k: v for k, v in _STALLED["config"].items()
+                                 if k != "fault_plan"})
+            client.resubmit(cid)
+            done = client.wait(cid, timeout_s=120)
+            assert done["state"] == "done" and done["exit"] == 0
+            with open(done["report_path"], encoding="utf-8") as fh:
+                assert fh.read() == _direct_csv(clean)
+        finally:
+            handle.stop()
+
+    def test_healthy_campaign_never_trips_watchdog(self, tmp_path):
+        handle = serve_in_thread(str(tmp_path / "state"),
+                                 watchdog_s=30.0, restart_budget=0)
+        try:
+            client = _client(handle)
+            cid = client.submit(_SMALL)["id"]
+            info = client.wait(cid, timeout_s=120)
+            assert info["state"] == "done" and info["restarts"] == 0
+            with open(info["report_path"], encoding="utf-8") as fh:
+                assert fh.read() == _direct_csv(_SMALL)
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------------
+# client retry policy (no server needed)
+# ---------------------------------------------------------------------------
+
+
+class TestClientRetry:
+    def _flaky(self, client, failures, response):
+        requests = []
+
+        def roundtrip(request):
+            requests.append(dict(request))
+            if len(requests) <= failures:
+                raise ConnectionError("injected transport failure")
+            return response
+
+        client._roundtrip = roundtrip
+        return requests
+
+    def test_submit_retries_transients_and_marks_idempotent(self):
+        sleeps = []
+        client = CampaignClient("h", 1, retries=3, backoff_s=0.01,
+                                sleeper=sleeps.append)
+        requests = self._flaky(client, 2, {"ok": True, "id": "c0001"})
+        assert client.submit({"suite": "1.0"})["id"] == "c0001"
+        # first attempt is a plain submit; retries ask for dedup because
+        # the server may have enqueued the attempt whose response died
+        assert "idempotent" not in requests[0]
+        assert requests[1]["idempotent"] and requests[2]["idempotent"]
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]  # exponential backoff
+
+    def test_retry_budget_exhausted_normalizes_to_connection_error(self):
+        client = CampaignClient("h", 1, retries=2, backoff_s=0.0,
+                                sleeper=lambda s: None)
+        self._flaky(client, 99, {})
+        with pytest.raises(ConnectionError, match="3 attempt"):
+            client.status("c0001")
+
+    def test_server_errors_are_answers_not_retried(self):
+        client = CampaignClient("h", 1, retries=3, backoff_s=0.0,
+                                sleeper=lambda s: None)
+        calls = []
+
+        def refused(request):
+            calls.append(request)
+            raise ServerError("no such campaign: 'c9999'")
+
+        client._roundtrip = refused
+        with pytest.raises(ServerError, match="no such campaign"):
+            client.cancel("c9999")
+        assert len(calls) == 1
+
+    def test_resubmit_retry_detects_landed_first_attempt(self):
+        client = CampaignClient("h", 1, retries=2, backoff_s=0.0,
+                                sleeper=lambda s: None)
+        requests = []
+
+        def roundtrip(request):
+            requests.append(dict(request))
+            if len(requests) == 1:  # the resume whose response was lost
+                raise ConnectionError("injected transport failure")
+            assert request["op"] == "status"  # retry checks state first
+            return {"ok": True,
+                    "campaign": {"id": "c0001", "state": "queued"}}
+
+        client._roundtrip = roundtrip
+        response = client.resubmit("c0001")
+        assert response["deduped"] and response["state"] == "queued"
+
+    def test_checked_normalizes_wire_damage(self):
+        checked = CampaignClient._checked
+        with pytest.raises(ConnectionError, match="garbled"):
+            checked(b"\xff\x00 injected garbled frame \xf7\n")
+        with pytest.raises(ConnectionError, match="mid-frame"):
+            checked(b'{"ok": true, "trunc')  # no newline: torn frame
+        with pytest.raises(ServerError, match="nope"):
+            checked(b'{"ok": false, "error": "nope"}\n')
+        assert checked(b'{"ok": true, "id": "c0001"}\n')["id"] == "c0001"
+
+    def test_backoff_deterministic_jittered_exponential(self):
+        a = CampaignClient("h", 1, backoff_s=0.1, jitter_seed=5)
+        b = CampaignClient("h", 1, backoff_s=0.1, jitter_seed=5)
+        other = CampaignClient("h", 1, backoff_s=0.1, jitter_seed=6)
+        delays = [a._backoff(n, "submit") for n in range(4)]
+        assert delays == [b._backoff(n, "submit") for n in range(4)]
+        assert delays != [other._backoff(n, "submit") for n in range(4)]
+        for n, delay in enumerate(delays):
+            base = 0.1 * (2 ** n)
+            assert base <= delay < base * 1.5
+        assert all(x < y for x, y in zip(delays, delays[1:]))
+
+    def test_client_knob_validation(self):
+        with pytest.raises(ValueError, match="retries"):
+            CampaignClient("h", 1, retries=-1)
+        with pytest.raises(ValueError, match="backoff_s"):
+            CampaignClient("h", 1, backoff_s=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# wire chaos against a live server (conn / frame sites + idempotent dedup)
+# ---------------------------------------------------------------------------
+
+
+class TestWireFaults:
+    def test_requests_heal_and_lost_submit_dedups(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        handle = serve_in_thread(
+            str(tmp_path / "state"),
+            fault_plan=FaultPlan.parse("conn=1.0,frame=1.0,seed=9"),
+        )
+        try:
+            client = CampaignClient.at(handle.address, backoff_s=0.01)
+            # the first ping's response is garbled AND dropped mid-frame;
+            # the retry finds both transient sites spent
+            assert client.ping()["format"] == "repro.server/v1"
+            # the first submit's response dies on the wire AFTER the
+            # server enqueued the campaign: the retried (idempotent)
+            # submit must dedup against it, not run the campaign twice
+            response = client.submit(_SMALL)
+            cid = response["id"]
+            campaigns = client.status()["campaigns"]
+            assert [c["id"] for c in campaigns] == [cid]
+            info = client.wait(cid, timeout_s=120)
+            assert info["state"] == "done"
+            with open(info["report_path"], encoding="utf-8") as fh:
+                assert fh.read() == _direct_csv(_SMALL)
+        finally:
+            handle.stop()
