@@ -8,6 +8,8 @@ them as a JSON artifact:
 * engine iterations/sec — full validation pipeline over a feature subset,
   M iterations per template;
 * template generation throughput over the whole shipped corpus;
+* corpus lint throughput, cold (full static analysis) vs warm (incremental
+  cache hits) — the warm/cold speedup gates the lint cache;
 * a Fig. 8(a)-style vendor sweep wall-clock point (the end-to-end number a
   researcher actually waits on).
 
@@ -157,6 +159,35 @@ def bench_generation() -> dict:
     }
 
 
+def bench_lint() -> dict:
+    """Corpus lint throughput, cold (full analysis) vs warm (cache hits)."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.staticcheck import LintCache, lint_suite
+
+    suite = openacc10_suite()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "lint_cache.json"
+        cold_cache = LintCache(path)
+        t0 = time.perf_counter()
+        report = lint_suite(suite, cache=cold_cache)
+        cold_s = time.perf_counter() - t0
+        cold_cache.save()
+
+        t0 = time.perf_counter()
+        lint_suite(suite, cache=LintCache(path))
+        warm_s = time.perf_counter() - t0
+    return {
+        "templates": report.checked,
+        "cold_wall_s": round(cold_s, 3),
+        "warm_wall_s": round(warm_s, 4),
+        "cold_templates_per_sec": round(report.checked / cold_s, 1),
+        "warm_templates_per_sec": round(report.checked / warm_s, 1),
+        "warm_speedup": round(cold_s / warm_s, 1),
+    }
+
+
 def bench_fig8a() -> dict:
     """Wall-clock of a Fig. 8(a) CAPS sweep — the end-to-end user wait."""
     suite = openacc10_suite()
@@ -176,6 +207,7 @@ def record(args) -> dict:
         "microbench": bench_interpreter(args.reps),
         "engine": bench_engine(args.iterations),
         "generation": bench_generation(),
+        "lint": bench_lint(),
         "fig8a": bench_fig8a(),
     }
     return data
@@ -207,6 +239,12 @@ def check(data: dict, args) -> int:
             f"closures speedup {speedup:.2f}x is below the "
             f"{args.min_speedup:.1f}x floor"
         )
+    lint_speedup = data["lint"]["warm_speedup"]
+    if lint_speedup < args.min_lint_speedup:
+        failures.append(
+            f"warm lint cache speedup {lint_speedup:.1f}x is below the "
+            f"{args.min_lint_speedup:.1f}x floor"
+        )
     if args.compare:
         with open(args.compare, "r", encoding="utf-8") as fh:
             baseline = json.load(fh)
@@ -225,6 +263,17 @@ def check(data: dict, args) -> int:
                     f"vs baseline {base_sps:,} "
                     f"(>{args.fail_threshold:.0%} regression)"
                 )
+            # baselines recorded before the lint benchmark lack the key
+            base_lint = baseline.get("lint")
+            if base_lint:
+                base_tps = base_lint["cold_templates_per_sec"]
+                now_tps = data["lint"]["cold_templates_per_sec"]
+                if now_tps < base_tps * (1.0 - args.fail_threshold):
+                    failures.append(
+                        f"cold lint throughput regressed: {now_tps:,.1f} "
+                        f"templates/s vs baseline {base_tps:,.1f} "
+                        f"(>{args.fail_threshold:.0%} regression)"
+                    )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -244,6 +293,9 @@ def main(argv=None) -> int:
                              "baseline (default 0.20 = 20%%)")
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="required closures-over-tree speedup floor")
+    parser.add_argument("--min-lint-speedup", type=float, default=10.0,
+                        help="required warm-over-cold lint cache speedup "
+                             "floor")
     parser.add_argument("--reps", type=int, default=3,
                         help="microbenchmark repetitions (best-of)")
     parser.add_argument("--iterations", type=int, default=2,
@@ -272,6 +324,10 @@ def main(argv=None) -> int:
     print(f"engine       closures: {engine['closures']['iterations_per_sec']:>12,.1f} iter/s"
           f"  ({engine['speedup']:.2f}x)")
     print(f"generation           : {data['generation']['templates_per_sec']:>12,.1f} templates/s")
+    lint = data["lint"]
+    print(f"lint         cold    : {lint['cold_templates_per_sec']:>12,.1f} templates/s")
+    print(f"lint         warm    : {lint['warm_templates_per_sec']:>12,.1f} templates/s"
+          f"  ({lint['warm_speedup']:.1f}x)")
     print(f"fig8a sweep          : {data['fig8a']['wall_s']:>12,.2f} s wall")
 
     if args.output:

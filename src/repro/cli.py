@@ -265,14 +265,75 @@ def cmd_generate(args) -> int:
 _LINT_SUITES = ("1.0", "2.0", "combinations")
 
 
+def _lint_code_filter(values):
+    """Expand repeatable comma-separated ``--select``/``--ignore`` values.
+
+    Tokens are full codes (``ACC401``) or prefixes (``ACC4``); an unknown
+    token returns ``(None, token)`` so the caller can did-you-mean it.
+    """
+    from repro.staticcheck import CODE_CATALOG
+
+    codes: set = set()
+    for value in values or []:
+        for token in value.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            upper = token.upper()
+            matched = {c for c in CODE_CATALOG if c.startswith(upper)}
+            if not matched:
+                return None, token
+            codes |= matched
+    return codes, None
+
+
 def cmd_lint(args) -> int:
+    from repro.obs.metrics import MetricsRegistry
     from repro.staticcheck import (
+        SHIPPED_BASELINE,
+        LintCache,
+        baseline_from_findings,
         lint_suite,
+        load_baseline,
         merge_reports,
         render_lint_json,
+        render_lint_sarif,
         render_lint_text,
     )
     from repro.suite import combination_suite, openacc20_suite
+    from repro.suite.registry import _did_you_mean
+
+    select, bad = _lint_code_filter(args.select)
+    if bad is not None:
+        hint = _did_you_mean(bad.upper(), _lint_catalog_codes())
+        print(f"unknown diagnostic code {bad!r} in --select{hint}",
+              file=sys.stderr)
+        return 1
+    ignore, bad = _lint_code_filter(args.ignore)
+    if bad is not None:
+        hint = _did_you_mean(bad.upper(), _lint_catalog_codes())
+        print(f"unknown diagnostic code {bad!r} in --ignore{hint}",
+              file=sys.stderr)
+        return 1
+
+    if args.update_baseline:
+        baseline = None  # raw findings feed the new allowance
+    elif args.no_baseline:
+        baseline = None
+    elif args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as err:
+            print(f"cannot load baseline {args.baseline}: {err}",
+                  file=sys.stderr)
+            return 1
+    else:
+        baseline = SHIPPED_BASELINE
+
+    cache = None
+    metrics = MetricsRegistry()
+    if args.cache:
+        cache = LintCache(args.cache, metrics=metrics)
 
     factories = {
         "1.0": openacc10_suite,
@@ -290,13 +351,42 @@ def cmd_lint(args) -> int:
                 if (not args.feature or t.feature == args.feature)
                 and (not args.language or t.language == args.language)
             ]
-        reports.append(lint_suite(suite, templates))
+        reports.append(lint_suite(suite, templates, cache=cache,
+                                  baseline=baseline))
     merged = merge_reports(reports)
+    if cache is not None:
+        cache.save()
+        print(cache.stats(), file=sys.stderr)
     if merged.checked == 0:
         print("lint selection matched no templates", file=sys.stderr)
         return 1
-    rendered = (render_lint_json(merged) if args.format == "json"
-                else render_lint_text(merged))
+
+    if args.update_baseline:
+        new_baseline = baseline_from_findings([
+            (entry.name, d)
+            for entry in merged.entries
+            for d in entry.diagnostics
+        ])
+        path = args.baseline or _shipped_baseline_path()
+        atomic_write_text(path, new_baseline.render())
+        print(f"wrote {path} ({new_baseline.total} allowed finding(s) "
+              f"across {len(new_baseline.entries)} template(s))")
+        return 0
+
+    if select or ignore:
+        for entry in merged.entries:
+            entry.diagnostics = [
+                d for d in entry.diagnostics
+                if (not select or d.code in select)
+                and d.code not in ignore
+            ]
+
+    if args.format == "sarif":
+        rendered = render_lint_sarif(merged)
+    elif args.format == "json":
+        rendered = render_lint_json(merged)
+    else:
+        rendered = render_lint_text(merged)
     if args.output:
         atomic_write_text(args.output, rendered)
         print(f"wrote {args.output} ({merged.checked} templates, "
@@ -304,6 +394,18 @@ def cmd_lint(args) -> int:
     else:
         print(rendered, end="")
     return 2 if merged.error_count else 0
+
+
+def _lint_catalog_codes():
+    from repro.staticcheck import CODE_CATALOG
+
+    return sorted(CODE_CATALOG)
+
+
+def _shipped_baseline_path() -> str:
+    import repro.staticcheck.suppress as _suppress
+
+    return str(_suppress._SHIPPED_PATH)
 
 
 def cmd_validate(args) -> int:
@@ -908,10 +1010,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="corpus to lint (default: the 1.0 suite)")
     p.add_argument("--all", action="store_true",
                    help="lint every shipped suite")
-    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "sarif"])
     p.add_argument("--feature", help="restrict to one dotted feature id")
     p.add_argument("--language", choices=["c", "fortran"],
                    help="restrict to one language")
+    p.add_argument("--select", action="append", metavar="CODES",
+                   help="only report these diagnostic codes or prefixes "
+                        "(comma-separated, repeatable, e.g. ACC4,ACC501)")
+    p.add_argument("--ignore", action="append", metavar="CODES",
+                   help="drop these diagnostic codes or prefixes")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="baseline file of known findings to subtract "
+                        "(default: the shipped corpus baseline)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report raw findings, ignoring any baseline")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from this run's raw findings "
+                        "(to --baseline, or the shipped file)")
+    p.add_argument("--cache", metavar="PATH",
+                   help="incremental lint cache file (created on first run)")
     p.add_argument("--output", help="write the report to this path "
                                     "(atomic) instead of stdout")
 

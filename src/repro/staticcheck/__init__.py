@@ -1,6 +1,6 @@
 """Static analysis over the testsuite IR: semantic checking + corpus lint.
 
-Three passes, one diagnostic vocabulary (see DESIGN.md "Static checking"):
+Five passes, one diagnostic vocabulary (see DESIGN.md "Static checking"):
 
 * :mod:`repro.staticcheck.legality` — the OpenACC 1.0 clause x directive
   legality matrix, duplicate/conflict rules, and region-scoping checks
@@ -8,23 +8,41 @@ Three passes, one diagnostic vocabulary (see DESIGN.md "Static checking"):
 * :mod:`repro.staticcheck.dependence` — conservative loop-carried
   dependence and shared-scalar race detection (``ACC2xx``);
 * :mod:`repro.staticcheck.corpus` — template-level corpus lint: parse
-  cleanliness, functional/cross pair coherence (``ACC3xx``).
+  cleanliness, functional/cross pair coherence (``ACC3xx``);
+* :mod:`repro.staticcheck.dataenv` — whole-program data-environment flow
+  on a host/device memory-state lattice (``ACC4xx``);
+* :mod:`repro.staticcheck.asyncgraph` — async/wait happens-before
+  analysis over queues (``ACC5xx``).
+
+Reporting infrastructure: :mod:`repro.staticcheck.sarif` (SARIF 2.1.0
+export), :mod:`repro.staticcheck.suppress` (inline ``acc-lint``
+suppressions + the checked-in baseline), :mod:`repro.staticcheck.lintcache`
+(incremental template-hash cache).
 
 Entry points: :func:`lint_source` / :func:`lint_template` for one unit,
 :func:`lint_suite` for a registry (what ``repro lint`` and the CI gate
 run).
 """
 
+from repro.staticcheck.asyncgraph import check_program_async
 from repro.staticcheck.corpus import (
+    SHIPPED_BASELINE,
     CorpusLintReport,
     TemplateLint,
     lint_program,
     lint_source,
     lint_suite,
     lint_template,
+    lint_template_raw,
     merge_reports,
     render_lint_json,
     render_lint_text,
+)
+from repro.staticcheck.dataenv import (
+    check_program_dataenv,
+    declared_arrays,
+    flow_events,
+    scalar_constants,
 )
 from repro.staticcheck.dependence import check_program_dependence
 from repro.staticcheck.diagnostics import (
@@ -45,7 +63,27 @@ from repro.staticcheck.legality import (
     check_program_legality,
     legal_clauses,
 )
+from repro.staticcheck.lintcache import (
+    ANALYSIS_VERSION,
+    LintCache,
+    catalog_version,
+    template_key,
+)
 from repro.staticcheck.regions import Region, build_region_tree, walk_regions
+from repro.staticcheck.sarif import (
+    render_lint_sarif,
+    sarif_report,
+    validate_sarif,
+)
+from repro.staticcheck.suppress import (
+    Baseline,
+    apply_suppressions,
+    baseline_from_findings,
+    load_baseline,
+    loads_baseline,
+    parse_suppressions,
+    shipped_baseline,
+)
 
 __all__ = [
     "CODE_CATALOG",
@@ -63,16 +101,37 @@ __all__ = [
     "check_program_legality",
     "legal_clauses",
     "check_program_dependence",
+    "check_program_dataenv",
+    "check_program_async",
+    "declared_arrays",
+    "flow_events",
+    "scalar_constants",
     "Region",
     "build_region_tree",
     "walk_regions",
     "CorpusLintReport",
     "TemplateLint",
+    "SHIPPED_BASELINE",
     "lint_program",
     "lint_source",
     "lint_suite",
     "lint_template",
+    "lint_template_raw",
     "merge_reports",
     "render_lint_json",
     "render_lint_text",
+    "render_lint_sarif",
+    "sarif_report",
+    "validate_sarif",
+    "Baseline",
+    "apply_suppressions",
+    "baseline_from_findings",
+    "load_baseline",
+    "loads_baseline",
+    "parse_suppressions",
+    "shipped_baseline",
+    "ANALYSIS_VERSION",
+    "LintCache",
+    "catalog_version",
+    "template_key",
 ]

@@ -18,6 +18,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.frontend.errors import FrontendError
 from repro.ir.astnodes import SourceLocation
 from repro.spec.versions import ACC_10, SpecVersion
+from repro.staticcheck.asyncgraph import check_program_async
+from repro.staticcheck.dataenv import check_program_dataenv
 from repro.staticcheck.dependence import check_program_dependence
 from repro.staticcheck.diagnostics import (
     Diagnostic,
@@ -25,12 +27,26 @@ from repro.staticcheck.diagnostics import (
     sort_diagnostics,
 )
 from repro.staticcheck.legality import check_program_legality
+from repro.staticcheck.suppress import (
+    Baseline,
+    apply_suppressions,
+    shipped_baseline,
+)
 from repro.templates import (
     TemplateError,
     TestTemplate,
     generate_cross,
     generate_functional,
 )
+
+#: sentinel: "apply the checked-in corpus baseline"
+SHIPPED_BASELINE = "shipped"
+
+
+def _resolve_baseline(baseline) -> Optional[Baseline]:
+    if baseline is SHIPPED_BASELINE or baseline == SHIPPED_BASELINE:
+        return shipped_baseline()
+    return baseline
 
 #: line prefixes that mark a directive line in generated source
 _DIRECTIVE_PREFIXES = ("#pragma acc", "!$acc")
@@ -52,9 +68,12 @@ def _parse_source(source: str, language: str, name: str):
 
 
 def lint_program(program, version: SpecVersion = ACC_10) -> List[Diagnostic]:
-    """Legality + dependence passes over one parsed program."""
+    """Legality, dependence, data-environment and async passes over one
+    parsed program."""
     diags = check_program_legality(program, version)
     diags.extend(check_program_dependence(program))
+    diags.extend(check_program_dataenv(program))
+    diags.extend(check_program_async(program))
     return sort_diagnostics(diags)
 
 
@@ -62,7 +81,10 @@ def lint_source(
     source: str, language: str = "c", name: str = "<lint>",
     version: SpecVersion = ACC_10,
 ) -> List[Diagnostic]:
-    """Parse and lint one standalone program text."""
+    """Parse and lint one standalone program text.
+
+    Inline ``acc-lint: disable`` comments in the source are honoured.
+    """
     try:
         program = _parse_source(source, language, name)
     except FrontendError as err:
@@ -71,11 +93,17 @@ def lint_source(
             f"program does not parse: {err.message}",
             loc=err.loc,
         )]
-    return lint_program(program, version)
+    diags, _ = apply_suppressions(lint_program(program, version), source)
+    return diags
 
 
-def lint_template(template: TestTemplate) -> List[Diagnostic]:
-    """All three passes for one template (the harness lint gate's view)."""
+def lint_template_raw(template: TestTemplate) -> List[Diagnostic]:
+    """All passes for one template, minus the baseline allowance.
+
+    Inline suppressions in the generated functional source are applied
+    (they are part of the template's own text); the checked-in baseline
+    is not — callers wanting the net view use :func:`lint_template`.
+    """
     version = _template_version(template)
     diags: List[Diagnostic] = []
     try:
@@ -96,6 +124,8 @@ def lint_template(template: TestTemplate) -> List[Diagnostic]:
     else:
         diags.extend(check_program_legality(program, version))
         diags.extend(check_program_dependence(program))
+        diags.extend(check_program_dataenv(program))
+        diags.extend(check_program_async(program))
 
     if template.has_cross:
         try:
@@ -107,7 +137,25 @@ def lint_template(template: TestTemplate) -> List[Diagnostic]:
         else:
             diags.extend(_check_pair(template, functional.source,
                                      cross.source))
+    diags, _ = apply_suppressions(diags, functional.source)
     return sort_diagnostics(diags)
+
+
+def lint_template(
+    template: TestTemplate, baseline=SHIPPED_BASELINE
+) -> List[Diagnostic]:
+    """All passes for one template (the harness lint gate's view).
+
+    Findings covered by the baseline allowance (the shipped corpus
+    baseline by default; pass ``baseline=None`` for the raw view) are
+    dropped.
+    """
+    raw = lint_template_raw(template)
+    resolved = _resolve_baseline(baseline)
+    if resolved is None:
+        return raw
+    kept, _ = resolved.apply(template.name, raw)
+    return kept
 
 
 # ---------------------------------------------------------------------------
@@ -224,6 +272,8 @@ class TemplateLint:
     language: str
     suite: str
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: known findings dropped by the baseline allowance
+    baselined: int = 0
 
     @property
     def clean(self) -> bool:
@@ -257,6 +307,10 @@ class CorpusLintReport:
     def clean(self) -> bool:
         return self.error_count == 0
 
+    @property
+    def baselined(self) -> int:
+        return sum(e.baselined for e in self.entries)
+
     def codes(self) -> Dict[str, int]:
         """Histogram of diagnostic codes, sorted by code."""
         out: Dict[str, int] = {}
@@ -266,18 +320,42 @@ class CorpusLintReport:
 
 
 def lint_suite(
-    suite, templates: Optional[Sequence[TestTemplate]] = None
+    suite,
+    templates: Optional[Sequence[TestTemplate]] = None,
+    cache=None,
+    baseline=SHIPPED_BASELINE,
 ) -> CorpusLintReport:
-    """Lint every (selected) template of one registry."""
+    """Lint every (selected) template of one registry.
+
+    ``cache`` is an optional :class:`~repro.staticcheck.lintcache.LintCache`;
+    cached entries hold the raw (pre-baseline) findings, so warm runs are
+    byte-identical to cold ones.  ``baseline`` is a
+    :class:`~repro.staticcheck.suppress.Baseline`, ``None`` for the raw
+    view, or :data:`SHIPPED_BASELINE` (the default) for the checked-in
+    corpus allowance.
+    """
     report = CorpusLintReport(suites=[suite.label])
     pool = list(templates) if templates is not None else list(suite)
+    resolved = _resolve_baseline(baseline)
     for template in pool:
+        raw: Optional[List[Diagnostic]] = None
+        if cache is not None:
+            raw = cache.lookup(template)
+        if raw is None:
+            raw = lint_template_raw(template)
+            if cache is not None:
+                cache.store(template, raw)
+        if resolved is not None:
+            diags, baselined = resolved.apply(template.name, raw)
+        else:
+            diags, baselined = list(raw), 0
         report.entries.append(TemplateLint(
             name=template.name,
             feature=template.feature,
             language=template.language,
             suite=suite.label,
-            diagnostics=lint_template(template),
+            diagnostics=diags,
+            baselined=baselined,
         ))
     return report
 
@@ -308,6 +386,9 @@ def render_lint_text(report: CorpusLintReport) -> str:
         for d in sort_diagnostics(entry.diagnostics):
             lines.append(f"  {d.render()}")
     codes = report.codes()
+    if report.baselined:
+        lines.append(f"{report.baselined} known finding(s) covered by "
+                     "the baseline")
     if codes:
         lines.append("diagnostic codes: " + ", ".join(
             f"{code}={count}" for code, count in codes.items()
@@ -329,6 +410,7 @@ def render_lint_json(report: CorpusLintReport) -> str:
         "templates_checked": report.checked,
         "error_count": report.error_count,
         "clean": report.clean,
+        "baselined": report.baselined,
         "codes": report.codes(),
         "diagnostics": [
             {

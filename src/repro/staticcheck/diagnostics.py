@@ -9,7 +9,11 @@ hint.  Codes are partitioned by the pass that emits them (see DESIGN.md
   region scoping);
 * ``ACC2xx`` — conservative loop dependence / race analysis;
 * ``ACC3xx`` — corpus lint (template-level: parse failures, functional/
-  cross divergence, crossexpect coherence).
+  cross divergence, crossexpect coherence);
+* ``ACC4xx`` — whole-program data-environment flow (stale host/device
+  copies, dead transfers, conflicting nested mappings);
+* ``ACC5xx`` — async/wait happens-before (cross-queue races, host
+  accesses overlapping pending async work, dead waits).
 
 Every code the passes can emit is declared in :data:`CODE_CATALOG`; the
 CI corpus gate treats any code outside a run's recorded baseline as a
@@ -59,6 +63,22 @@ CODE_CATALOG: Dict[str, str] = {
     "ACC301": "generated functional variant does not parse",
     "ACC302": "functional/cross pair diverges outside the tested feature",
     "ACC303": "crossexpect incoherent with the substitution",
+    # -- ACC4xx: whole-program data-environment flow ----------------------
+    "ACC401": "host reads an array whose device copy is newer (stale "
+              "host copy; missing update host / copyout)",
+    "ACC402": "device reads an array whose device copy is stale "
+              "(missing update device, or created without transfer)",
+    "ACC403": "dead copyout: device copy is never written in the region",
+    "ACC404": "conflicting data clause for an array already present "
+              "from an enclosing region",
+    "ACC405": "update directive names an array with no device copy",
+    "ACC406": "dead copyin: device copy is never read in the region",
+    # -- ACC5xx: async/wait happens-before --------------------------------
+    "ACC501": "unsynchronized write-write or read-write on one array "
+              "from different async queues",
+    "ACC502": "wait targets a queue no async clause ever uses",
+    "ACC503": "host touches data (or observes completion state) of "
+              "async work that has not been waited on",
 }
 
 

@@ -1,0 +1,190 @@
+"""SARIF 2.1.0 export for the lint report.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is the
+lingua franca code-scanning UIs ingest; ``repro lint --format sarif``
+renders a :class:`~repro.staticcheck.corpus.CorpusLintReport` as one run:
+
+* every catalogued code becomes a ``rule`` in the tool's driver (stable
+  ``ruleIndex`` order = sorted code), severities mapped
+  ``ERROR -> "error"``, ``WARNING -> "warning"``;
+* every diagnostic becomes a ``result`` whose physical location is the
+  *template* (artifact URI) and the line/column inside its generated
+  functional source; template/feature/suite metadata rides in
+  ``properties`` so dashboards can facet on them.
+
+:func:`validate_sarif` is a structural validator for the subset of the
+2.1.0 schema the exporter emits (the toolchain has no external JSON-schema
+dependency); CI runs it over the corpus artifact, and it is deliberately
+strict about the invariants consumers rely on — version string, rule
+index coherence, 1-based regions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.staticcheck.corpus import CorpusLintReport
+from repro.staticcheck.diagnostics import CODE_CATALOG, sort_diagnostics
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/openacc/validation-testsuite"
+
+#: codes whose usual emission is warning severity (heuristic smells);
+#: individual results still carry their own level
+_WARNING_BY_DEFAULT = frozenset({
+    "ACC403", "ACC405", "ACC406", "ACC502", "ACC503",
+})
+
+
+def sarif_report(report: CorpusLintReport) -> Dict:
+    """The SARIF 2.1.0 payload for one lint report, as plain dicts."""
+    codes = sorted(CODE_CATALOG)
+    rule_index = {code: i for i, code in enumerate(codes)}
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": CODE_CATALOG[code]},
+            "defaultConfiguration": {
+                "level": "warning" if code in _WARNING_BY_DEFAULT
+                else "error",
+            },
+        }
+        for code in codes
+    ]
+    results: List[Dict] = []
+    for entry in report.entries:
+        for d in sort_diagnostics(entry.diagnostics):
+            result: Dict = {
+                "ruleId": d.code,
+                "ruleIndex": rule_index[d.code],
+                "level": d.severity.value,
+                "message": {"text": d.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": entry.name},
+                    },
+                }],
+                "properties": {
+                    "template": entry.name,
+                    "feature": entry.feature,
+                    "language": entry.language,
+                    "suite": entry.suite,
+                },
+            }
+            if d.loc.line > 0:
+                region: Dict = {"startLine": d.loc.line}
+                if d.loc.column > 0:
+                    region["startColumn"] = d.loc.column
+                result["locations"][0]["physicalLocation"]["region"] = region
+            if d.hint:
+                result["properties"]["hint"] = d.hint
+            results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": rules,
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "results": results,
+            "properties": {
+                "suites": report.suites,
+                "templatesChecked": report.checked,
+                "errorCount": report.error_count,
+            },
+        }],
+    }
+
+
+def render_lint_sarif(report: CorpusLintReport) -> str:
+    return json.dumps(sarif_report(report), indent=2, sort_keys=False) + "\n"
+
+
+def validate_sarif(payload: Dict) -> List[str]:
+    """Structural 2.1.0 validation; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+
+    def check(cond: bool, message: str) -> bool:
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not check(isinstance(payload, dict), "payload is not an object"):
+        return problems
+    check(payload.get("version") == SARIF_VERSION,
+          f"version must be {SARIF_VERSION!r}")
+    check(isinstance(payload.get("$schema"), str) and
+          "sarif" in payload.get("$schema", ""),
+          "$schema must reference the SARIF schema")
+    runs = payload.get("runs")
+    if not check(isinstance(runs, list) and len(runs) >= 1,
+                 "runs must be a non-empty array"):
+        return problems
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not check(isinstance(run, dict), f"{where} is not an object"):
+            continue
+        driver = run.get("tool", {}).get("driver")
+        if not check(isinstance(driver, dict),
+                     f"{where}.tool.driver missing"):
+            continue
+        check(bool(driver.get("name")), f"{where} driver has no name")
+        rules = driver.get("rules", [])
+        rule_ids: List[str] = []
+        for qi, rule in enumerate(rules):
+            rwhere = f"{where}.rules[{qi}]"
+            if not check(isinstance(rule, dict) and bool(rule.get("id")),
+                         f"{rwhere} has no id"):
+                continue
+            rule_ids.append(rule["id"])
+            check(bool(rule.get("shortDescription", {}).get("text")),
+                  f"{rwhere} has no shortDescription.text")
+        results = run.get("results")
+        if not check(isinstance(results, list),
+                     f"{where}.results must be an array"):
+            continue
+        for si, result in enumerate(results):
+            swhere = f"{where}.results[{si}]"
+            if not check(isinstance(result, dict),
+                         f"{swhere} is not an object"):
+                continue
+            rule_id = result.get("ruleId")
+            check(bool(rule_id), f"{swhere} has no ruleId")
+            if rule_id and rule_ids:
+                if check(rule_id in rule_ids,
+                         f"{swhere} ruleId {rule_id!r} not in driver rules"):
+                    index = result.get("ruleIndex")
+                    if index is not None:
+                        check(
+                            0 <= index < len(rule_ids)
+                            and rule_ids[index] == rule_id,
+                            f"{swhere} ruleIndex does not match ruleId",
+                        )
+            check(result.get("level") in ("error", "warning", "note",
+                                          "none"),
+                  f"{swhere} has invalid level")
+            check(bool(result.get("message", {}).get("text")),
+                  f"{swhere} has no message.text")
+            for li, loc in enumerate(result.get("locations", [])):
+                lwhere = f"{swhere}.locations[{li}]"
+                phys = loc.get("physicalLocation", {})
+                check(bool(phys.get("artifactLocation", {}).get("uri")),
+                      f"{lwhere} has no artifactLocation.uri")
+                region = phys.get("region")
+                if region is not None:
+                    check(isinstance(region.get("startLine"), int)
+                          and region["startLine"] >= 1,
+                          f"{lwhere} region.startLine must be >= 1")
+    return problems
